@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/experiments"
+	"repro/internal/lp"
+)
+
+// benchExperiment runs one paper-figure experiment per benchmark iteration
+// at full (paper-scale) parameters and reports its headline numbers as
+// benchmark metrics, so `go test -bench=.` regenerates the entire
+// evaluation. Use cmd/dpmbench to print the full tables.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Quick: false, Seed: 1}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	// Surface one representative metric per experiment so bench output
+	// doubles as a regression record.
+	for name, pts := range res.Series {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			if !p.Feasible {
+				continue
+			}
+			if p.Y < min {
+				min = p.Y
+			}
+			if p.Y > max {
+				max = p.Y
+			}
+		}
+		if !math.IsInf(min, 1) {
+			b.ReportMetric(min, name+"_min")
+			b.ReportMetric(max, name+"_max")
+		}
+	}
+}
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md §5).
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig8b(b *testing.B)     { benchExperiment(b, "fig8b") }
+func BenchmarkFig9a(b *testing.B)     { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)     { benchExperiment(b, "fig9b") }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig12a(b *testing.B)    { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)    { benchExperiment(b, "fig12b") }
+func BenchmarkFig13a(b *testing.B)    { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B)    { benchExperiment(b, "fig13b") }
+func BenchmarkFig14a(b *testing.B)    { benchExperiment(b, "fig14a") }
+func BenchmarkFig14b(b *testing.B)    { benchExperiment(b, "fig14b") }
+func BenchmarkExampleA2(b *testing.B) { benchExperiment(b, "exampleA2") }
+
+// BenchmarkOptimizeDisk measures the policy-optimization hot path on the
+// paper's largest case study (66 states × 5 commands, horizon 10⁶) — the
+// computation the paper reports took "less than 1 min" per curve on a
+// SUN UltraSPARC.
+func BenchmarkOptimizeDisk(b *testing.B) {
+	sr := core.TwoStateSR("w", 0.002, 0.3)
+	sys := devices.DiskSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{
+		Alpha:            core.HorizonToAlpha(1e6),
+		Initial:          core.Delta(m.N, sys.Index(core.State{SP: devices.DiskActive})),
+		Objective:        core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:           []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.3}},
+		UnvisitedCommand: devices.DiskGoActive,
+		SkipEvaluation:   true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComposeDisk measures system compilation (Eq. 4 composition).
+func BenchmarkComposeDisk(b *testing.B) {
+	sr := core.TwoStateSR("w", 0.002, 0.3)
+	sys := devices.DiskSystem(sr)
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of using the public facade end to end; doubles as compile-time
+// verification that the re-exported API is usable.
+func Example() {
+	sys := devices.ExampleSystem()
+	m, err := sys.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:     core.HorizonToAlpha(1e5),
+		Initial:   core.Delta(m.N, 0),
+		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:    []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal power below always-on: %v\n", res.Objective < 3)
+	// Output: optimal power below always-on: true
+}

@@ -1,0 +1,42 @@
+// Command dpmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dpmbench [-quick] [-seed N] [experiment ...]
+//
+// Without arguments it runs every experiment in DESIGN.md §5 and prints
+// each reproduction as a text table. Experiment ids: table1, fig6, fig8b,
+// fig9a, fig9b, fig10, fig12a, fig12b, fig13a, fig13b, fig14a, fig14b,
+// exampleA2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced horizons and trace lengths")
+	seed := flag.Int64("seed", 1, "random seed for synthetic workloads and simulation")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := experiments.Render(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dpmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command dpmsim runs the simulation engine of the paper's tool (Fig. 7):
+// it executes a power-management policy — either the LP optimum or a named
+// heuristic — against a device model, in model-driven, session, or
+// trace-driven mode, and reports measured power, queue, latency and loss.
+//
+// Examples:
+//
+//	dpmsim -device disk -policy optimal -bounds 'penalty<=0.3' -slices 1e6
+//	dpmsim -device disk -policy timeout -timeout 2000 -sleep go_standby -slices 1e6
+//	dpmsim -device cpu  -policy greedy -trace cpu.trace -dt 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	device := flag.String("device", "example", fmt.Sprintf("device model %v", cli.DeviceNames()))
+	pol := flag.String("policy", "optimal", "policy: optimal, always, greedy, timeout")
+	bounds := flag.String("bounds", "penalty<=0.5", "constraints for -policy optimal")
+	horizon := flag.Float64("horizon", 1e5, "optimization horizon for -policy optimal")
+	timeout := flag.Int64("timeout", 100, "idle slices before shutdown for -policy timeout")
+	sleepCmd := flag.String("sleep", "", "sleep command name for greedy/timeout (default: last command)")
+	slices := flag.Float64("slices", 1e6, "model-driven simulation length in slices")
+	sessions := flag.Int("sessions", 0, "if >0, simulate this many geometric sessions at the optimization horizon instead")
+	traceFile := flag.String("trace", "", "trace-driven mode: time-stamped request trace file")
+	dt := flag.Float64("dt", 1, "time resolution for discretizing -trace")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	p01 := flag.Float64("p01", 0, "workload idle→busy probability (0 = default)")
+	p10 := flag.Float64("p10", 0, "workload busy→idle probability (0 = default)")
+	flag.Parse()
+
+	if err := run(*device, *pol, *bounds, *horizon, *timeout, *sleepCmd, *slices,
+		*sessions, *traceFile, *dt, *seed, *p01, *p10); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, pol, bounds string, horizon float64, timeout int64, sleepCmd string,
+	slices float64, sessions int, traceFile string, dt float64, seed int64, p01, p10 float64) error {
+	d, err := cli.NewDevice(device, p01, p10)
+	if err != nil {
+		return err
+	}
+	m, err := d.Sys.Build()
+	if err != nil {
+		return err
+	}
+
+	sleep := m.A - 1
+	if sleepCmd != "" {
+		if sleep = d.Sys.SP.CommandIndex(sleepCmd); sleep < 0 {
+			return fmt.Errorf("unknown command %q (have %v)", sleepCmd, d.Sys.SP.Commands)
+		}
+	}
+
+	alpha := core.HorizonToAlpha(horizon)
+	var ctrl policy.Controller
+	switch pol {
+	case "always":
+		ctrl = &policy.Constant{Cmd: 0}
+	case "greedy":
+		ctrl = &policy.Greedy{WakeCmd: 0, SleepCmd: sleep}
+	case "timeout":
+		ctrl = &policy.Timeout{WakeCmd: 0, SleepCmd: sleep, Timeout: timeout}
+	case "optimal":
+		bs, err := cli.ParseBounds(bounds)
+		if err != nil {
+			return err
+		}
+		res, err := core.Optimize(m, core.Options{
+			Alpha:          alpha,
+			Initial:        core.Delta(m.N, d.Sys.Index(d.Initial)),
+			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+			Bounds:         bs,
+			SkipEvaluation: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized policy: expected power %.6g W\n", res.Objective)
+		ctrl, err = policy.NewStationary(d.Sys, res.Policy, seed+1)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown policy %q (optimal, always, greedy, timeout)", pol)
+	}
+
+	s, err := sim.New(m, ctrl, sim.Config{Seed: seed, Initial: d.Initial})
+	if err != nil {
+		return err
+	}
+
+	var st *sim.Stats
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		counts, err := tr.Discretize(dt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d requests over %d slices (busy fraction %.4f)\n",
+			len(tr.Times), len(counts), trace.CountStats(counts).BusyFraction)
+		st, err = s.RunTrace(counts)
+		if err != nil {
+			return err
+		}
+	case sessions > 0:
+		st, err = s.RunSessions(alpha, sessions)
+		if err != nil {
+			return err
+		}
+	default:
+		st, err = s.Run(int64(slices))
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("simulated %d slices (%d session(s))\n", st.Slices, st.Sessions)
+	fmt.Println("measured per-slice metrics:")
+	cli.PrintAverages(os.Stdout, st.Averages)
+	if d.Sys.QueueCap > 0 {
+		fmt.Printf("requests: arrived %d, serviced %d, lost %d (loss fraction %.5f)\n",
+			st.Arrived, st.Serviced, st.Lost, st.LossFraction())
+		fmt.Printf("throughput %.5f requests/slice, mean wait %.3f slices\n", st.Throughput(), st.AvgWait)
+	} else {
+		fmt.Printf("requests: arrived %d (device has no queue; per-request accounting does not apply)\n", st.Arrived)
+	}
+	fmt.Println("command usage:")
+	for c, n := range st.CommandCounts {
+		fmt.Printf("  %-12s %d\n", d.Sys.SP.Commands[c], n)
+	}
+	return nil
+}

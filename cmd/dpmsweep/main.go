@@ -1,0 +1,100 @@
+// Command dpmsweep traces a power-performance tradeoff curve (the Pareto
+// exploration of paper Section IV-A) by repeatedly solving the policy-
+// optimization LP across a constraint sweep.
+//
+// Usage:
+//
+//	dpmsweep -device disk -horizon 1e6 -sweep penalty -rel '<=' \
+//	         -values 0.02,0.05,0.1,0.2,0.5 -bounds 'loss<=0.05'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+func main() {
+	device := flag.String("device", "example", fmt.Sprintf("device model %v", cli.DeviceNames()))
+	horizon := flag.Float64("horizon", 1e5, "expected session length in time slices")
+	minimize := flag.String("min", "power", "metric to minimize")
+	sweep := flag.String("sweep", "penalty", "metric whose bound is swept")
+	rel := flag.String("rel", "<=", "sweep relation: <= or >=")
+	values := flag.String("values", "0.1,0.2,0.3,0.5,0.8", "comma-separated sweep bounds")
+	bounds := flag.String("bounds", "", "additional fixed constraints, e.g. 'loss<=0.1'")
+	p01 := flag.Float64("p01", 0, "workload idle→busy probability (0 = default)")
+	p10 := flag.Float64("p10", 0, "workload busy→idle probability (0 = default)")
+	flag.Parse()
+
+	if err := run(*device, *horizon, *minimize, *sweep, *rel, *values, *bounds, *p01, *p10); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(device string, horizon float64, minimize, sweep, rel, values, bounds string, p01, p10 float64) error {
+	d, err := cli.NewDevice(device, p01, p10)
+	if err != nil {
+		return err
+	}
+	m, err := d.Sys.Build()
+	if err != nil {
+		return err
+	}
+	bs, err := cli.ParseBounds(bounds)
+	if err != nil {
+		return err
+	}
+	vals, err := cli.ParseFloats(values)
+	if err != nil {
+		return err
+	}
+	var r lp.Rel
+	switch rel {
+	case "<=":
+		r = lp.LE
+	case ">=":
+		r = lp.GE
+	default:
+		return fmt.Errorf("relation %q must be <= or >=", rel)
+	}
+
+	opts := core.Options{
+		Alpha:          core.HorizonToAlpha(horizon),
+		Initial:        core.Delta(m.N, d.Sys.Index(d.Initial)),
+		Objective:      core.Objective{Metric: minimize, Sense: lp.Minimize},
+		Bounds:         bs,
+		SkipEvaluation: true,
+	}
+	pts, err := core.ParetoSweep(m, opts, sweep, r, vals)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("device: %s (%s), horizon %g slices\n", device, d.Desc, horizon)
+	fmt.Printf("%-14s %-14s", sweep+" bound", minimize)
+	for _, extra := range []string{"penalty", "loss", "service"} {
+		if extra != minimize && extra != sweep {
+			fmt.Printf(" %-12s", extra)
+		}
+	}
+	fmt.Println()
+	for _, p := range pts {
+		if !p.Feasible {
+			fmt.Printf("%-14g infeasible\n", p.BoundValue)
+			continue
+		}
+		fmt.Printf("%-14g %-14.6g", p.BoundValue, p.Objective)
+		for _, extra := range []string{"penalty", "loss", "service"} {
+			if extra != minimize && extra != sweep {
+				fmt.Printf(" %-12.6g", p.Averages[extra])
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

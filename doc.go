@@ -1,0 +1,144 @@
+// Package repro is a Go reproduction of Benini, Bogliolo, Paleologo and
+// De Micheli, "Policy Optimization for Dynamic Power Management" (DAC 1998;
+// extended in IEEE TCAD 18(6), June 1999): stochastic modeling of
+// power-managed systems as controlled Markov chains, and exact
+// polynomial-time policy optimization via linear programming over
+// state-action frequencies.
+//
+// This top-level package is a facade re-exporting the core modeling and
+// optimization API; the implementation lives in the internal packages:
+//
+//   - internal/core — the paper's model (service provider / requester /
+//     queue, composition, policies, LP2/LP3/LP4 policy optimization,
+//     Pareto exploration);
+//   - internal/lp — dense two-phase simplex with refactorization;
+//   - internal/markov — Markov-chain analysis (stationary distributions,
+//     discounted values and occupancies, hitting times);
+//   - internal/policy — heuristic power managers (greedy, timeout,
+//     randomized timeout) and the stationary-policy controller;
+//   - internal/sim — the slotted stochastic simulation engine (model-,
+//     session- and trace-driven);
+//   - internal/trace — request traces, the SR extractor and synthetic
+//     workload generators;
+//   - internal/devices — the paper's case-study models (example system,
+//     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU);
+//   - internal/experiments — one runner per paper table/figure.
+//
+// A minimal end-to-end use:
+//
+//	sys := repro.ExampleSystem()            // Examples 3.1-3.7 of the paper
+//	model, _ := sys.Build()                 // composed controlled Markov chain
+//	res, _ := repro.Optimize(model, repro.Options{
+//	        Alpha:     repro.HorizonToAlpha(1e5),
+//	        Objective: repro.Objective{Metric: repro.MetricPower, Sense: repro.Minimize},
+//	        Bounds:    []repro.Bound{{Metric: repro.MetricPenalty, Rel: repro.LE, Value: 0.5}},
+//	})
+//	fmt.Println(res.Objective, res.Policy)
+//
+// See README.md for the tool suite (cmd/...) and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced table and figure.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// Core model types (paper Section III).
+type (
+	// ServiceProvider is the managed resource (Definition 3.1).
+	ServiceProvider = core.ServiceProvider
+	// ServiceRequester is the workload model (Definition 3.2).
+	ServiceRequester = core.ServiceRequester
+	// System composes SP, SR and the bounded queue (Definition 3.3, Eq. 4).
+	System = core.System
+	// State is a composed (SP, SR, queue) state triple.
+	State = core.State
+	// Model is a compiled System: per-command transition matrices plus
+	// metric tables.
+	Model = core.Model
+	// Policy is a Markov stationary randomized policy (Definitions 3.5-3.7).
+	Policy = core.Policy
+	// Evaluation holds exact discounted per-slice averages of a policy.
+	Evaluation = core.Evaluation
+)
+
+// Optimization types (paper Section IV and Appendix A).
+type (
+	// Options configures policy optimization.
+	Options = core.Options
+	// Objective selects the optimized metric and direction.
+	Objective = core.Objective
+	// Bound is a per-slice average constraint on a metric.
+	Bound = core.Bound
+	// Result is the outcome of policy optimization.
+	Result = core.Result
+	// ParetoPoint is one point of a tradeoff curve.
+	ParetoPoint = core.ParetoPoint
+	// Matrix and Vector are the dense linear-algebra types used throughout.
+	Matrix = mat.Matrix
+	Vector = mat.Vector
+)
+
+// Metric names available on every compiled model.
+const (
+	MetricPower   = core.MetricPower
+	MetricPenalty = core.MetricPenalty
+	MetricLoss    = core.MetricLoss
+	MetricDrops   = core.MetricDrops
+	MetricService = core.MetricService
+)
+
+// LP senses and relations.
+const (
+	Minimize = lp.Minimize
+	Maximize = lp.Maximize
+	LE       = lp.LE
+	EQ       = lp.EQ
+	GE       = lp.GE
+)
+
+// Core functions.
+var (
+	// Optimize solves the constrained policy-optimization LP and extracts
+	// the optimal policy.
+	Optimize = core.Optimize
+	// ParetoSweep traces a power-performance tradeoff curve.
+	ParetoSweep = core.ParetoSweep
+	// Evaluate computes exact discounted metrics of a policy.
+	Evaluate = core.Evaluate
+	// HorizonToAlpha converts an expected session length to a discount
+	// factor; AlphaToHorizon inverts it.
+	HorizonToAlpha = core.HorizonToAlpha
+	AlphaToHorizon = core.AlphaToHorizon
+	// WaitingTimeBound converts a mean-waiting-time bound to a queue bound
+	// via Little's law.
+	WaitingTimeBound = core.WaitingTimeBound
+	// DeterministicPolicy, ConstantPolicy and NewPolicy build policies.
+	DeterministicPolicy = core.DeterministicPolicy
+	ConstantPolicy      = core.ConstantPolicy
+	NewPolicy           = core.NewPolicy
+	// TwoStateSR builds the ubiquitous two-state requester.
+	TwoStateSR = core.TwoStateSR
+	// Delta and Uniform build initial state distributions.
+	Delta   = core.Delta
+	Uniform = core.Uniform
+)
+
+// Prebuilt device models (paper Section VI and Appendix B).
+var (
+	// ExampleSystem is the running example of Sections III-IV.
+	ExampleSystem = devices.ExampleSystem
+	// DiskSystem is the Table-I disk drive (Section VI-A).
+	DiskSystem = devices.DiskSystem
+	// WebServerSystem is the two-processor server (Section VI-B).
+	WebServerSystem = devices.WebServerSystem
+	// CPUSystem is the SA-1100 model with wake-on-request (Section VI-C).
+	CPUSystem = devices.CPUSystem
+	// BaselineSystem is the Appendix-B baseline; DefaultBaseline its
+	// parameters.
+	BaselineSystem  = devices.BaselineSystem
+	DefaultBaseline = devices.DefaultBaseline
+)

@@ -1,0 +1,177 @@
+// Package cli holds the shared plumbing of the command-line tools in cmd/:
+// building named device systems, parsing constraint flags, and formatting
+// policies and metrics. Keeping it in a package (rather than duplicated in
+// each main) also makes it testable.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+)
+
+// Device bundles a built system with its conventional initial state and a
+// short description, as used by dpmopt/dpmsweep/dpmsim.
+type Device struct {
+	Sys     *core.System
+	Initial core.State
+	Desc    string
+}
+
+// DeviceNames lists the devices accepted by NewDevice.
+func DeviceNames() []string {
+	return []string{"example", "baseline", "disk", "webserver", "cpu"}
+}
+
+// NewDevice builds a named device. p01/p10 parameterize the two-state
+// workload (idle→busy and busy→idle per-slice probabilities); devices with
+// a fixed paper workload ignore them when zero.
+func NewDevice(name string, p01, p10 float64) (*Device, error) {
+	if p01 == 0 {
+		p01 = 0.05
+	}
+	if p10 == 0 {
+		p10 = 0.15
+	}
+	sr := core.TwoStateSR(name+"-workload", p01, p10)
+	switch name {
+	case "example":
+		return &Device{
+			Sys:     devices.ExampleSystem(),
+			Initial: core.State{SP: 0},
+			Desc:    "two-state example system of paper Sections III-IV (fixed workload)",
+		}, nil
+	case "baseline":
+		cfg := devices.DefaultBaseline()
+		cfg.Sleep = devices.DeepSleepStates()
+		sys, err := devices.BaselineSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Device{
+			Sys:     sys,
+			Initial: core.State{SP: 0},
+			Desc:    "Appendix-B baseline with four sleep states (fixed 0.01 flip workload)",
+		}, nil
+	case "disk":
+		return &Device{
+			Sys:     devices.DiskSystem(sr),
+			Initial: core.State{SP: devices.DiskActive},
+			Desc:    "IBM Travelstar VP disk drive, Table I (Δt = 1 ms)",
+		}, nil
+	case "webserver":
+		return &Device{
+			Sys:     devices.WebServerSystem(sr),
+			Initial: core.State{SP: devices.WebBothOn},
+			Desc:    "two-processor web server, Section VI-B (Δt = 1 s)",
+		}, nil
+	case "cpu":
+		return &Device{
+			Sys:     devices.CPUSystem(sr),
+			Initial: core.State{SP: devices.CPUActive},
+			Desc:    "ARM SA-1100 CPU with wake-on-request, Section VI-C (Δt = 50 ms)",
+		}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown device %q (have %v)", name, DeviceNames())
+	}
+}
+
+// ParseBound parses a constraint flag of the form "metric<=value" or
+// "metric>=value" (metric in power, penalty, loss, drops, service,
+// throughput).
+func ParseBound(s string) (core.Bound, error) {
+	var rel lp.Rel
+	var sep string
+	switch {
+	case strings.Contains(s, "<="):
+		rel, sep = lp.LE, "<="
+	case strings.Contains(s, ">="):
+		rel, sep = lp.GE, ">="
+	default:
+		return core.Bound{}, fmt.Errorf("cli: bound %q must contain <= or >=", s)
+	}
+	parts := strings.SplitN(s, sep, 2)
+	metric := strings.TrimSpace(parts[0])
+	v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return core.Bound{}, fmt.Errorf("cli: bound %q: %v", s, err)
+	}
+	if metric == "" {
+		return core.Bound{}, fmt.Errorf("cli: bound %q missing metric name", s)
+	}
+	return core.Bound{Metric: metric, Rel: rel, Value: v}, nil
+}
+
+// ParseBounds parses a comma-separated list of bound expressions.
+func ParseBounds(s string) ([]core.Bound, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []core.Bound
+	for _, part := range strings.Split(s, ",") {
+		b, err := ParseBound(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: empty float list")
+	}
+	return out, nil
+}
+
+// PrintPolicy renders a policy with state names, visit frequencies and
+// command distributions.
+func PrintPolicy(w io.Writer, sys *core.System, res *core.Result) error {
+	if _, err := fmt.Fprintf(w, "%-24s %-12s", "state", "freq"); err != nil {
+		return err
+	}
+	for _, c := range sys.SP.Commands {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for s := 0; s < res.Policy.N(); s++ {
+		fmt.Fprintf(w, "%-24s %-12.5g", sys.StateName(s), res.Frequencies.Row(s).Sum())
+		for _, p := range res.Policy.CommandDist(s) {
+			fmt.Fprintf(w, " %12.6f", p)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PrintAverages renders a metric→value map in sorted order.
+func PrintAverages(w io.Writer, averages map[string]float64) {
+	names := make([]string, 0, len(averages))
+	for n := range averages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-12s %g\n", n, averages[n])
+	}
+}

@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+func TestNewDeviceAll(t *testing.T) {
+	for _, name := range DeviceNames() {
+		d, err := NewDevice(name, 0.05, 0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := d.Sys.Build(); err != nil {
+			t.Errorf("%s: Build: %v", name, err)
+		}
+		if d.Desc == "" {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+	if _, err := NewDevice("toaster", 0, 0); err == nil {
+		t.Errorf("unknown device accepted")
+	}
+}
+
+func TestNewDeviceDefaultWorkload(t *testing.T) {
+	d, err := NewDevice("disk", 0, 0)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	if d.Sys.SR.P.At(0, 1) != 0.05 {
+		t.Errorf("default p01 = %g, want 0.05", d.Sys.SR.P.At(0, 1))
+	}
+}
+
+func TestParseBound(t *testing.T) {
+	b, err := ParseBound("penalty<=0.5")
+	if err != nil {
+		t.Fatalf("ParseBound: %v", err)
+	}
+	if b.Metric != "penalty" || b.Rel != lp.LE || b.Value != 0.5 {
+		t.Errorf("bound = %+v", b)
+	}
+	b, err = ParseBound(" service >= 0.7 ")
+	if err != nil {
+		t.Fatalf("ParseBound: %v", err)
+	}
+	if b.Metric != "service" || b.Rel != lp.GE || b.Value != 0.7 {
+		t.Errorf("bound = %+v", b)
+	}
+	for _, bad := range []string{"penalty=0.5", "<=0.5", "penalty<=abc"} {
+		if _, err := ParseBound(bad); err == nil {
+			t.Errorf("ParseBound(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	bs, err := ParseBounds("penalty<=0.5,loss<=0.1")
+	if err != nil {
+		t.Fatalf("ParseBounds: %v", err)
+	}
+	if len(bs) != 2 || bs[1].Metric != "loss" {
+		t.Errorf("bounds = %+v", bs)
+	}
+	if bs, err := ParseBounds(""); err != nil || bs != nil {
+		t.Errorf("empty bounds = %v, %v", bs, err)
+	}
+	if _, err := ParseBounds("penalty<=0.5,bogus"); err == nil {
+		t.Errorf("bad list accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	fs, err := ParseFloats("0.1, 0.2,0.3")
+	if err != nil || len(fs) != 3 || fs[2] != 0.3 {
+		t.Errorf("ParseFloats = %v, %v", fs, err)
+	}
+	if _, err := ParseFloats(""); err == nil {
+		t.Errorf("empty list accepted")
+	}
+	if _, err := ParseFloats("a,b"); err == nil {
+		t.Errorf("garbage accepted")
+	}
+}
+
+func TestPrintHelpers(t *testing.T) {
+	d, err := NewDevice("example", 0, 0)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	m, err := d.Sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:          0.999,
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:         []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5}},
+		SkipEvaluation: true,
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	var sb strings.Builder
+	if err := PrintPolicy(&sb, d.Sys, res); err != nil {
+		t.Fatalf("PrintPolicy: %v", err)
+	}
+	if !strings.Contains(sb.String(), "(on,0,0)") {
+		t.Errorf("policy output missing state names:\n%s", sb.String())
+	}
+	sb.Reset()
+	PrintAverages(&sb, res.Averages)
+	if !strings.Contains(sb.String(), "power") {
+		t.Errorf("averages output missing power:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// CompositeSP builds a single service provider from several independent
+// ones — the "network of interacting service providers" extension the
+// paper sketches in Section VII, in its simplest useful form: the
+// components evolve independently given their own commands, the power
+// manager issues one command per component each slice (the joint command
+// set is the cross product), power adds across components, and the joint
+// service rate is supplied by the caller (it is system-specific: the
+// two-processor web server's throughput table, for example, is not a sum).
+//
+// Component 0 varies fastest in both the joint state index and the joint
+// command index: joint = Σᵢ idxᵢ·Πⱼ<ᵢ sizeⱼ. Joint state and command names
+// join the component names with "+".
+//
+// The paper's warning applies: the joint state space grows as the product
+// of the component sizes, so this is for small component counts.
+func CompositeSP(name string, parts []*ServiceProvider, rate func(states, cmds []int) float64) (*ServiceProvider, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: CompositeSP needs at least one part")
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("core: CompositeSP needs a service-rate combiner")
+	}
+	nStates, nCmds := 1, 1
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: composite part %d: %w", i, err)
+		}
+		nStates *= p.N()
+		nCmds *= p.A()
+	}
+
+	// decode splits a joint index into per-part indices (part 0 fastest).
+	decode := func(idx int, size func(p *ServiceProvider) int) []int {
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			out[i] = idx % size(p)
+			idx /= size(p)
+		}
+		return out
+	}
+	spN := func(p *ServiceProvider) int { return p.N() }
+	spA := func(p *ServiceProvider) int { return p.A() }
+
+	states := make([]string, nStates)
+	for s := range states {
+		parts_ := decode(s, spN)
+		names := make([]string, len(parts))
+		for i, p := range parts {
+			names[i] = p.States[parts_[i]]
+		}
+		states[s] = strings.Join(names, "+")
+	}
+	cmds := make([]string, nCmds)
+	for c := range cmds {
+		parts_ := decode(c, spA)
+		names := make([]string, len(parts))
+		for i, p := range parts {
+			names[i] = p.Commands[parts_[i]]
+		}
+		cmds[c] = strings.Join(names, "+")
+	}
+
+	ps := make([]*mat.Matrix, nCmds)
+	power := mat.NewMatrix(nStates, nCmds)
+	rateTab := mat.NewMatrix(nStates, nCmds)
+	for c := 0; c < nCmds; c++ {
+		cIdx := decode(c, spA)
+		pm := mat.NewMatrix(nStates, nStates)
+		for s := 0; s < nStates; s++ {
+			sIdx := decode(s, spN)
+			// Joint transition probability = product over parts; enumerate
+			// destinations recursively over part indices.
+			var fill func(part, dest int, prob float64)
+			fill = func(part, dest int, prob float64) {
+				if prob == 0 {
+					return
+				}
+				if part == len(parts) {
+					pm.Add(s, dest, prob)
+					return
+				}
+				stride := 1
+				for j := 0; j < part; j++ {
+					stride *= parts[j].N()
+				}
+				row := parts[part].P[cIdx[part]].Row(sIdx[part])
+				for next, p := range row {
+					fill(part+1, dest+next*stride, prob*p)
+				}
+			}
+			fill(0, 0, 1)
+
+			pw := 0.0
+			for i, p := range parts {
+				pw += p.Power.At(sIdx[i], cIdx[i])
+			}
+			power.Set(s, c, pw)
+			b := rate(sIdx, cIdx)
+			if b < 0 || b > 1 {
+				return nil, fmt.Errorf("core: combined service rate %g outside [0,1] at state %q command %q",
+					b, states[s], cmds[c])
+			}
+			rateTab.Set(s, c, b)
+		}
+		ps[c] = pm
+	}
+
+	sp := &ServiceProvider{
+		Name:        name,
+		States:      states,
+		Commands:    cmds,
+		P:           ps,
+		ServiceRate: rateTab,
+		Power:       power,
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("core: composite invalid: %w", err)
+	}
+	return sp, nil
+}

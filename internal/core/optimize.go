@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// Objective selects the metric to optimize and the direction. PO1 minimizes
+// MetricPenalty; PO2 minimizes MetricPower; the web-server study maximizes
+// nothing but constrains MetricService from below while minimizing power.
+type Objective struct {
+	Metric string
+	Sense  lp.Sense
+}
+
+// Bound is a linear constraint on the per-slice average of a metric:
+// E[metric] Rel Value. Bounds are stated in per-slice units; the paper's
+// total-discounted bounds are these values times the expected horizon
+// 1/(1−α) (e.g. Example A.2 uses 0.5·10⁵ where we write 0.5).
+type Bound struct {
+	Metric string
+	Rel    lp.Rel
+	Value  float64
+}
+
+// Options configures a policy optimization run.
+type Options struct {
+	// Alpha is the discount factor in [0,1); the expected session length is
+	// 1/(1−Alpha) slices (paper Section IV).
+	Alpha float64
+	// Initial is the initial state distribution q0; nil selects the uniform
+	// distribution.
+	Initial mat.Vector
+	// Objective selects metric and sense; the zero value minimizes the
+	// performance penalty (PO1).
+	Objective Objective
+	// Bounds are the constraint rows added to LP2, producing LP3/LP4.
+	Bounds []Bound
+	// UnvisitedCommand is issued deterministically in states with zero
+	// state-action frequency, where the LP leaves the policy unconstrained
+	// (such states are unreachable under the extracted policy). Defaults to
+	// command 0.
+	UnvisitedCommand int
+	// SkipEvaluation disables the exact cross-check evaluation of the
+	// extracted policy (a time saver inside large sweeps).
+	SkipEvaluation bool
+}
+
+// Result is the outcome of policy optimization.
+type Result struct {
+	// Status is the LP status; all other fields are valid only when it is
+	// lp.Optimal.
+	Status lp.Status
+	// Policy is the extracted optimal Markov stationary policy (Eq. 16).
+	Policy *Policy
+	// Frequencies is the N×A matrix of scaled state–action frequencies
+	// y(s,a) = (1−α)x(s,a); entries sum to one.
+	Frequencies *mat.Matrix
+	// Objective is the optimal per-slice expected value of the objective
+	// metric.
+	Objective float64
+	// Averages maps every model metric to its per-slice expected value
+	// under the optimal frequencies.
+	Averages map[string]float64
+	// Eval is the exact evaluation of the extracted policy (nil when
+	// SkipEvaluation); by construction its averages agree with Averages.
+	Eval *Evaluation
+	// LPIterations counts simplex pivots.
+	LPIterations int
+}
+
+// ErrInfeasible is wrapped by Optimize when the constraint set cannot be
+// met (the paper's f(c) = +∞ case defining the feasible allocation set).
+var ErrInfeasible = errors.New("core: constraints infeasible")
+
+// Optimize solves the constrained policy optimization problem on model m by
+// building the state–action frequency linear program of Appendix A
+// (LP2 with the balance equations; LP3/LP4 when Bounds are present) and
+// extracting the optimal Markov stationary policy.
+func Optimize(m *Model, opts Options) (*Result, error) {
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("core: discount factor %g outside [0,1)", opts.Alpha)
+	}
+	if opts.Objective.Metric == "" {
+		opts.Objective.Metric = MetricPenalty
+	}
+	objTable, err := m.Metric(opts.Objective.Metric)
+	if err != nil {
+		return nil, err
+	}
+	q0 := opts.Initial
+	if q0 == nil {
+		q0 = Uniform(m.N)
+	}
+	if len(q0) != m.N {
+		return nil, fmt.Errorf("core: initial distribution has %d entries, want %d", len(q0), m.N)
+	}
+	if !q0.IsDistribution(1e-9) {
+		return nil, fmt.Errorf("core: initial distribution does not sum to 1")
+	}
+	if opts.UnvisitedCommand < 0 || opts.UnvisitedCommand >= m.A {
+		return nil, fmt.Errorf("core: unvisited command %d outside [0,%d)", opts.UnvisitedCommand, m.A)
+	}
+
+	nv := m.N * m.A
+	prob := lp.NewProblem(opts.Objective.Sense, nv)
+	for s := 0; s < m.N; s++ {
+		for a := 0; a < m.A; a++ {
+			prob.Obj[s*m.A+a] = objTable.At(s, a)
+		}
+	}
+
+	// Balance equations (LP2, scaled by 1−α):
+	//   Σ_a y(j,a) − α Σ_s Σ_a p_{s,j}(a) y(s,a) = (1−α) q0_j.
+	alpha := opts.Alpha
+	coeffs := make([]float64, nv)
+	for j := 0; j < m.N; j++ {
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		for a := 0; a < m.A; a++ {
+			coeffs[j*m.A+a] += 1
+			pa := m.P[a]
+			for s := 0; s < m.N; s++ {
+				if p := pa.At(s, j); p != 0 {
+					coeffs[s*m.A+a] -= alpha * p
+				}
+			}
+		}
+		prob.AddConstraint(fmt.Sprintf("balance[%d]", j), coeffs, lp.EQ, (1-alpha)*q0[j])
+	}
+
+	for _, b := range opts.Bounds {
+		table, err := m.Metric(b.Metric)
+		if err != nil {
+			return nil, err
+		}
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		for s := 0; s < m.N; s++ {
+			for a := 0; a < m.A; a++ {
+				coeffs[s*m.A+a] = table.At(s, a)
+			}
+		}
+		prob.AddConstraint(fmt.Sprintf("%s %s %g", b.Metric, b.Rel, b.Value), coeffs, b.Rel, b.Value)
+	}
+
+	sol, err := lp.Solve(prob)
+	res := &Result{Status: sol.Status, LPIterations: sol.Iterations}
+	if err != nil {
+		if sol.Status == lp.Infeasible {
+			return res, fmt.Errorf("core: %w: %v", ErrInfeasible, err)
+		}
+		return res, fmt.Errorf("core: policy optimization LP failed: %w", err)
+	}
+
+	// Frequencies and policy extraction (Eq. 16).
+	freq := mat.NewMatrix(m.N, m.A)
+	copy(freq.Data, sol.X)
+	pol := mat.NewMatrix(m.N, m.A)
+	const visitTol = 1e-12
+	for s := 0; s < m.N; s++ {
+		row := freq.Row(s)
+		total := row.Sum()
+		if total > visitTol {
+			dst := pol.Row(s)
+			for a := 0; a < m.A; a++ {
+				v := row[a] / total
+				if v < 0 {
+					v = 0
+				}
+				dst[a] = v
+			}
+			dst.Normalize()
+		} else {
+			pol.Set(s, opts.UnvisitedCommand, 1)
+		}
+	}
+	policy, err := NewPolicy(pol)
+	if err != nil {
+		return nil, fmt.Errorf("core: extracted policy invalid: %w", err)
+	}
+	res.Policy = policy
+	res.Frequencies = freq
+
+	res.Averages = make(map[string]float64, len(m.Metrics))
+	for name, table := range m.Metrics {
+		v := 0.0
+		for i, y := range freq.Data {
+			if y != 0 {
+				v += y * table.Data[i]
+			}
+		}
+		res.Averages[name] = v
+	}
+	res.Objective = res.Averages[opts.Objective.Metric]
+
+	if !opts.SkipEvaluation {
+		ev, err := Evaluate(m, policy, q0, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating extracted policy: %w", err)
+		}
+		res.Eval = ev
+	}
+	return res, nil
+}
+
+// HorizonToAlpha converts an expected session length in slices (the paper's
+// "time horizon") to the equivalent discount factor α = 1 − 1/horizon.
+func HorizonToAlpha(horizon float64) float64 {
+	if horizon < 1 {
+		panic(fmt.Sprintf("core: horizon %g < 1 slice", horizon))
+	}
+	return 1 - 1/horizon
+}
+
+// AlphaToHorizon is the inverse of HorizonToAlpha.
+func AlphaToHorizon(alpha float64) float64 {
+	if alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("core: alpha %g outside [0,1)", alpha))
+	}
+	return 1 / (1 - alpha)
+}
+
+// WaitingTimeBound converts a mean-waiting-time bound (in slices) into the
+// equivalent mean-queue-length bound via Little's law, using the SR's
+// long-run arrival rate: E[q] = λ·W. The paper's disk study states latency
+// constraints this way.
+func WaitingTimeBound(sr *ServiceRequester, maxWait float64) (Bound, error) {
+	lambda, err := sr.MeanArrivalRate()
+	if err != nil {
+		return Bound{}, err
+	}
+	return Bound{Metric: MetricPenalty, Rel: lp.LE, Value: lambda * maxWait}, nil
+}
+
+// ParetoPoint is one point of a power–performance tradeoff curve.
+type ParetoPoint struct {
+	// BoundValue is the swept constraint value.
+	BoundValue float64
+	// Feasible reports whether the LP was feasible at this bound (the
+	// paper's feasible-allocation set membership).
+	Feasible bool
+	// Objective is the optimal objective (per-slice units) when feasible.
+	Objective float64
+	// Averages carries all per-slice metric averages when feasible.
+	Averages map[string]float64
+	// Result is the full optimization result when feasible (policy etc.).
+	Result *Result
+}
+
+// ParetoSweep solves the optimization once per value in boundValues for the
+// constraint "metric rel v", holding all other options fixed, and returns
+// the tradeoff curve (Section IV-A). Infeasible values yield points with
+// Feasible=false, corresponding to f(c)=+∞ in the paper.
+func ParetoSweep(m *Model, opts Options, metric string, rel lp.Rel, boundValues []float64) ([]ParetoPoint, error) {
+	points := make([]ParetoPoint, 0, len(boundValues))
+	for _, v := range boundValues {
+		o := opts
+		o.Bounds = append(append([]Bound{}, opts.Bounds...), Bound{Metric: metric, Rel: rel, Value: v})
+		res, err := Optimize(m, o)
+		switch {
+		case err == nil:
+			points = append(points, ParetoPoint{
+				BoundValue: v, Feasible: true,
+				Objective: res.Objective, Averages: res.Averages, Result: res,
+			})
+		case errors.Is(err, ErrInfeasible):
+			points = append(points, ParetoPoint{BoundValue: v, Objective: math.Inf(1)})
+		default:
+			return nil, err
+		}
+	}
+	return points, nil
+}

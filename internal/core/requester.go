@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/mat"
+)
+
+// ServiceRequester models the environment (paper Definition 3.2): an
+// autonomous stationary Markov chain whose state r issues Requests[r]
+// service requests per time slice. Interarrival times are geometric within
+// each state; burstiness is expressed through the chain structure.
+type ServiceRequester struct {
+	// Name identifies the requester in diagnostics.
+	Name string
+	// States names the SR states.
+	States []string
+	// P is the row-stochastic transition matrix.
+	P *mat.Matrix
+	// Requests[r] is the number of requests issued per slice in state r.
+	Requests []int
+}
+
+// N returns the number of SR states.
+func (sr *ServiceRequester) N() int { return len(sr.States) }
+
+// Validate checks structural consistency.
+func (sr *ServiceRequester) Validate() error {
+	n := sr.N()
+	if n == 0 {
+		return fmt.Errorf("core: requester %q has no states", sr.Name)
+	}
+	if sr.P == nil || sr.P.Rows != n || sr.P.Cols != n {
+		return fmt.Errorf("core: requester %q transition matrix has wrong shape", sr.Name)
+	}
+	if err := sr.P.CheckStochastic(0); err != nil {
+		return fmt.Errorf("core: requester %q: %w", sr.Name, err)
+	}
+	if len(sr.Requests) != n {
+		return fmt.Errorf("core: requester %q has %d request counts, want %d", sr.Name, len(sr.Requests), n)
+	}
+	for i, r := range sr.Requests {
+		if r < 0 {
+			return fmt.Errorf("core: requester %q state %q has negative request count %d", sr.Name, sr.States[i], r)
+		}
+	}
+	return nil
+}
+
+// Chain returns the SR as a markov.Chain.
+func (sr *ServiceRequester) Chain() (*markov.Chain, error) {
+	if err := sr.Validate(); err != nil {
+		return nil, err
+	}
+	return markov.New(sr.P, 0)
+}
+
+// MeanArrivalRate returns the long-run expected number of requests per slice
+// under the stationary distribution of the SR chain.
+func (sr *ServiceRequester) MeanArrivalRate() (float64, error) {
+	c, err := sr.Chain()
+	if err != nil {
+		return 0, err
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	rate := 0.0
+	for i, p := range pi {
+		rate += p * float64(sr.Requests[i])
+	}
+	return rate, nil
+}
+
+// TwoStateSR builds the ubiquitous two-state requester used throughout the
+// paper (Example 3.2 and all case studies): state 0 issues no requests,
+// state 1 issues one request per slice. p01 is the probability of moving
+// from idle to busy; p10 from busy to idle.
+func TwoStateSR(name string, p01, p10 float64) *ServiceRequester {
+	return &ServiceRequester{
+		Name:   name,
+		States: []string{"0", "1"},
+		P: mat.FromRows([][]float64{
+			{1 - p01, p01},
+			{p10, 1 - p10},
+		}),
+		Requests: []int{0, 1},
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Built-in metric names attached to every compiled Model. Additional metrics
+// can be registered through System.ExtraMetrics.
+const (
+	// MetricPower is the expected power consumption per slice, c(s,a)
+	// (paper Section III-B).
+	MetricPower = "power"
+	// MetricPenalty is the performance penalty per slice, d(s); by default
+	// the number of enqueued requests.
+	MetricPenalty = "penalty"
+	// MetricLoss is the request-loss indicator: 1 when the SR issues
+	// requests and the queue is full (Appendix A's loss constraint).
+	MetricLoss = "loss"
+	// MetricDrops is the expected number of requests dropped per slice:
+	// arrivals beyond the space left by the queue and the (probabilistic)
+	// service completion, averaged over the next SR state. Unlike the
+	// indicator, it credits service headroom — an awake server at a full
+	// queue drops nothing if it completes a request — which makes it the
+	// right constraint metric when studying transition-speed and
+	// queue-length sensitivity (Appendix B).
+	MetricDrops = "drops"
+	// MetricService is the service rate b(s,a); for systems whose
+	// performance measure is throughput (the web-server case study) this is
+	// the natural constraint metric.
+	MetricService = "service"
+)
+
+// State identifies one composed system state: the triple
+// (SP state, SR state, queue backlog) of paper Eq. 4.
+type State struct {
+	SP, SR, Q int
+}
+
+// System describes a complete power-managed system before compilation:
+// a service provider, a service requester, and a bounded queue, with
+// optional hooks that generalize the composition exactly where the paper's
+// case studies need it.
+type System struct {
+	// Name identifies the system in diagnostics and reports.
+	Name string
+	// SP is the service provider.
+	SP *ServiceProvider
+	// SR is the service requester.
+	SR *ServiceRequester
+	// QueueCap is the queue capacity Q; the queue component has Q+1 states.
+	// Zero means requests are never buffered (the CPU case study).
+	QueueCap int
+
+	// SPRow optionally overrides the SP transition row, allowing SP
+	// dynamics to depend on the current SR state. The CPU case study uses
+	// this for wake-on-request: when a request arrives, the SP transitions
+	// toward active regardless of the issued command. A nil function (or a
+	// nil return value) falls back to SP.P[cmd].Row(spState).
+	SPRow func(spState, cmd, srState int) mat.Vector
+
+	// PenaltyFn optionally overrides the performance penalty d(s,a). The
+	// default is the queue backlog (paper Section III-B). The CPU case
+	// study sets it to 1 when the SR is issuing requests and the SP is
+	// asleep.
+	PenaltyFn func(st State, cmd int) float64
+
+	// LossFn optionally overrides the request-loss metric. The default is
+	// the paper's indicator: 1 iff the SR issues requests and the queue is
+	// full.
+	LossFn func(st State, cmd int) float64
+
+	// ExtraMetrics registers additional named metrics evaluated per
+	// (state, command).
+	ExtraMetrics map[string]func(st State, cmd int) float64
+}
+
+// NumStates returns |S_p|·|S_r|·(Q+1).
+func (sys *System) NumStates() int {
+	return sys.SP.N() * sys.SR.N() * (sys.QueueCap + 1)
+}
+
+// Index maps a State triple to its flat index. Layout: SP major, then SR,
+// then queue.
+func (sys *System) Index(st State) int {
+	nq := sys.QueueCap + 1
+	return (st.SP*sys.SR.N()+st.SR)*nq + st.Q
+}
+
+// StateOf inverts Index.
+func (sys *System) StateOf(i int) State {
+	nq := sys.QueueCap + 1
+	q := i % nq
+	i /= nq
+	r := i % sys.SR.N()
+	p := i / sys.SR.N()
+	return State{SP: p, SR: r, Q: q}
+}
+
+// StateName renders state i as "(spName,srName,q)".
+func (sys *System) StateName(i int) string {
+	st := sys.StateOf(i)
+	return fmt.Sprintf("(%s,%s,%d)", sys.SP.States[st.SP], sys.SR.States[st.SR], st.Q)
+}
+
+// Validate checks both components and the queue capacity.
+func (sys *System) Validate() error {
+	if sys.SP == nil || sys.SR == nil {
+		return fmt.Errorf("core: system %q missing SP or SR", sys.Name)
+	}
+	if err := sys.SP.Validate(); err != nil {
+		return err
+	}
+	if err := sys.SR.Validate(); err != nil {
+		return err
+	}
+	if sys.QueueCap < 0 {
+		return fmt.Errorf("core: system %q has negative queue capacity", sys.Name)
+	}
+	return nil
+}
+
+// Model is a compiled System: the composed controlled Markov chain (one
+// transition matrix per command, paper Eq. 4) plus all cost metrics
+// tabulated per (state, command).
+type Model struct {
+	Sys *System
+	// N is the number of composed states; A the number of commands.
+	N, A int
+	// P[a] is the N×N transition matrix of the system under command a.
+	P []*mat.Matrix
+	// Metrics maps metric name → N×A value table.
+	Metrics map[string]*mat.Matrix
+}
+
+// Build compiles the system into its composed controlled Markov chain.
+// Following the paper's Example 3.5, the arrivals that drive the queue
+// update in a slice are those of the destination SR state, and the queue
+// drains at the service rate b of the current SP state under the issued
+// command.
+func (sys *System) Build() (*Model, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	n := sys.NumStates()
+	a := sys.SP.A()
+	nsp, nsr, nq := sys.SP.N(), sys.SR.N(), sys.QueueCap+1
+
+	m := &Model{
+		Sys:     sys,
+		N:       n,
+		A:       a,
+		P:       make([]*mat.Matrix, a),
+		Metrics: make(map[string]*mat.Matrix),
+	}
+
+	for cmd := 0; cmd < a; cmd++ {
+		pm := mat.NewMatrix(n, n)
+		for p := 0; p < nsp; p++ {
+			b := sys.SP.ServiceRate.At(p, cmd)
+			for r := 0; r < nsr; r++ {
+				spRow := sys.spRow(p, cmd, r)
+				if len(spRow) != nsp {
+					return nil, fmt.Errorf("core: SPRow override returned %d entries, want %d", len(spRow), nsp)
+				}
+				if !spRow.IsDistribution(1e-9) {
+					return nil, fmt.Errorf("core: SPRow override for (%s,%s,%s) is not a distribution",
+						sys.SP.States[p], sys.SP.Commands[cmd], sys.SR.States[r])
+				}
+				for q := 0; q < nq; q++ {
+					i := sys.Index(State{SP: p, SR: r, Q: q})
+					row := pm.Row(i)
+					for rNext := 0; rNext < nsr; rNext++ {
+						srP := sys.SR.P.At(r, rNext)
+						if srP == 0 {
+							continue
+						}
+						qrow := QueueRow(sys.QueueCap, q, b, sys.SR.Requests[rNext])
+						for pNext := 0; pNext < nsp; pNext++ {
+							spP := spRow[pNext]
+							if spP == 0 {
+								continue
+							}
+							base := spP * srP
+							for qNext := 0; qNext < nq; qNext++ {
+								if qrow[qNext] == 0 {
+									continue
+								}
+								j := sys.Index(State{SP: pNext, SR: rNext, Q: qNext})
+								row[j] += base * qrow[qNext]
+							}
+						}
+					}
+				}
+			}
+		}
+		if err := pm.CheckStochastic(1e-9); err != nil {
+			return nil, fmt.Errorf("core: composed matrix for command %q: %w", sys.SP.Commands[cmd], err)
+		}
+		m.P[cmd] = pm
+	}
+
+	// Metric tables.
+	power := mat.NewMatrix(n, a)
+	penalty := mat.NewMatrix(n, a)
+	loss := mat.NewMatrix(n, a)
+	drops := mat.NewMatrix(n, a)
+	service := mat.NewMatrix(n, a)
+	for i := 0; i < n; i++ {
+		st := sys.StateOf(i)
+		for cmd := 0; cmd < a; cmd++ {
+			power.Set(i, cmd, sys.SP.Power.At(st.SP, cmd))
+			service.Set(i, cmd, sys.SP.ServiceRate.At(st.SP, cmd))
+			if sys.PenaltyFn != nil {
+				penalty.Set(i, cmd, sys.PenaltyFn(st, cmd))
+			} else {
+				penalty.Set(i, cmd, float64(st.Q))
+			}
+			if sys.LossFn != nil {
+				loss.Set(i, cmd, sys.LossFn(st, cmd))
+			} else if sys.SR.Requests[st.SR] > 0 && st.Q == sys.QueueCap {
+				loss.Set(i, cmd, 1)
+			}
+			// Expected drops in the upcoming transition: arrivals follow
+			// the destination SR state (composition semantics, Eq. 4).
+			b := sys.SP.ServiceRate.At(st.SP, cmd)
+			exp := 0.0
+			for rNext := 0; rNext < sys.SR.N(); rNext++ {
+				if p := sys.SR.P.At(st.SR, rNext); p != 0 {
+					exp += p * LostRequests(sys.QueueCap, st.Q, b, sys.SR.Requests[rNext])
+				}
+			}
+			drops.Set(i, cmd, exp)
+		}
+	}
+	m.Metrics[MetricPower] = power
+	m.Metrics[MetricPenalty] = penalty
+	m.Metrics[MetricLoss] = loss
+	m.Metrics[MetricDrops] = drops
+	m.Metrics[MetricService] = service
+	for name, fn := range sys.ExtraMetrics {
+		t := mat.NewMatrix(n, a)
+		for i := 0; i < n; i++ {
+			st := sys.StateOf(i)
+			for cmd := 0; cmd < a; cmd++ {
+				t.Set(i, cmd, fn(st, cmd))
+			}
+		}
+		m.Metrics[name] = t
+	}
+	return m, nil
+}
+
+func (sys *System) spRow(p, cmd, r int) mat.Vector {
+	if sys.SPRow != nil {
+		if row := sys.SPRow(p, cmd, r); row != nil {
+			return row
+		}
+	}
+	return sys.SP.P[cmd].Row(p)
+}
+
+// Metric returns the named metric table or an error listing the available
+// names.
+func (m *Model) Metric(name string) (*mat.Matrix, error) {
+	t, ok := m.Metrics[name]
+	if !ok {
+		names := make([]string, 0, len(m.Metrics))
+		for k := range m.Metrics {
+			names = append(names, k)
+		}
+		return nil, fmt.Errorf("core: unknown metric %q (have %v)", name, names)
+	}
+	return t, nil
+}
+
+// Delta returns the length-n distribution concentrated on state i.
+func Delta(n, i int) mat.Vector {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("core: Delta index %d outside [0,%d)", i, n))
+	}
+	v := mat.NewVector(n)
+	v[i] = 1
+	return v
+}
+
+// Uniform returns the uniform distribution over n states.
+func Uniform(n int) mat.Vector {
+	v := mat.NewVector(n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}

@@ -1,0 +1,184 @@
+package devices
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// SleepState parameterizes one inactive state of a multi-sleep-state
+// provider (paper Appendix B, Fig. 12(a)): its power draw and the per-slice
+// probability of completing the wake transition once go_active is asserted
+// (expected wake time 1/WakeProb, Eq. 2).
+type SleepState struct {
+	Name     string
+	Power    float64
+	WakeProb float64
+}
+
+// BaselineConfig describes the Appendix-B baseline system and all its
+// parametric variants. The zero value is not valid; use DefaultBaseline.
+type BaselineConfig struct {
+	// ActivePower is the power in the active state (baseline: 3 W).
+	ActivePower float64
+	// TransitionPower is drawn while a commanded transition is pending in
+	// either direction (baseline: 4 W).
+	TransitionPower float64
+	// ServiceRate is the probability of completing a request per active
+	// slice (baseline: 1).
+	ServiceRate float64
+	// Sleep lists the available sleep states, shallowest first
+	// (baseline: one state, 2 W, wake probability 1 — i.e. both directions
+	// take a single slice).
+	Sleep []SleepState
+	// SRFlip is the symmetric SR transition probability (baseline: 0.01;
+	// the stationary load is 0.5 regardless, which is why Fig. 13(a) can
+	// vary burstiness without varying load).
+	SRFlip float64
+	// QueueCap is the queue capacity (baseline: 2).
+	QueueCap int
+}
+
+// DefaultBaseline returns the Appendix-B baseline configuration.
+func DefaultBaseline() BaselineConfig {
+	return BaselineConfig{
+		ActivePower:     3,
+		TransitionPower: 4,
+		ServiceRate:     1,
+		Sleep:           []SleepState{{Name: "sleep1", Power: 2, WakeProb: 1}},
+		SRFlip:          0.01,
+		QueueCap:        2,
+	}
+}
+
+// DeepSleepStates returns the four sleep states of Fig. 12(a) in order:
+// sleep1 (2 W, wake probability 1), sleep2 (1 W, 0.1), sleep3 (0.5 W,
+// 0.01), sleep4 (0 W, 0.001).
+func DeepSleepStates() []SleepState {
+	return []SleepState{
+		{Name: "sleep1", Power: 2, WakeProb: 1},
+		{Name: "sleep2", Power: 1, WakeProb: 0.1},
+		{Name: "sleep3", Power: 0.5, WakeProb: 0.01},
+		{Name: "sleep4", Power: 0, WakeProb: 0.001},
+	}
+}
+
+// MultiSleepSP builds a provider with one active state and the given sleep
+// states. Commands are go_active plus one go_<sleep> per sleep state.
+// Entering a sleep state from active takes one slice (the baseline's
+// single-slice shutdown); waking is geometric with the state's WakeProb.
+// Sleep-to-sleep commands are no-ops (the device must wake first), matching
+// the structure implied by Fig. 12(a).
+func MultiSleepSP(cfg BaselineConfig) (*core.ServiceProvider, error) {
+	k := len(cfg.Sleep)
+	if k == 0 {
+		return nil, fmt.Errorf("devices: baseline needs at least one sleep state")
+	}
+	if cfg.ServiceRate < 0 || cfg.ServiceRate > 1 {
+		return nil, fmt.Errorf("devices: service rate %g outside [0,1]", cfg.ServiceRate)
+	}
+	n := 1 + k // state 0 = active, state 1+i = sleep i
+	a := 1 + k // command 0 = go_active, command 1+i = go_sleep i
+
+	states := make([]string, n)
+	states[0] = "active"
+	cmds := make([]string, a)
+	cmds[0] = "go_active"
+	for i, s := range cfg.Sleep {
+		if s.WakeProb <= 0 || s.WakeProb > 1 {
+			return nil, fmt.Errorf("devices: sleep state %q wake probability %g outside (0,1]", s.Name, s.WakeProb)
+		}
+		states[1+i] = s.Name
+		cmds[1+i] = "go_" + s.Name
+	}
+
+	ps := make([]*mat.Matrix, a)
+	for cmd := 0; cmd < a; cmd++ {
+		p := mat.NewMatrix(n, n)
+		// Active row.
+		if cmd == 0 {
+			p.Set(0, 0, 1)
+		} else {
+			p.Set(0, cmd, 1) // one-slice shutdown into sleep state cmd-1
+		}
+		// Sleep rows.
+		for i := 0; i < k; i++ {
+			s := 1 + i
+			if cmd == 0 {
+				w := cfg.Sleep[i].WakeProb
+				p.Set(s, 0, w)
+				p.Set(s, s, 1-w)
+			} else {
+				p.Set(s, s, 1) // sleep-to-sleep commands are no-ops
+			}
+		}
+		ps[cmd] = p
+	}
+
+	rate := mat.NewMatrix(n, a)
+	rate.Set(0, 0, cfg.ServiceRate) // serves only while active and kept active
+
+	power := mat.NewMatrix(n, a)
+	for cmd := 0; cmd < a; cmd++ {
+		if cmd == 0 {
+			power.Set(0, 0, cfg.ActivePower)
+		} else {
+			power.Set(0, cmd, cfg.TransitionPower) // shutting down
+		}
+		for i := 0; i < k; i++ {
+			s := 1 + i
+			if cmd == 0 {
+				power.Set(s, cmd, cfg.TransitionPower) // waking up
+			} else {
+				power.Set(s, cmd, cfg.Sleep[i].Power)
+			}
+		}
+	}
+
+	sp := &core.ServiceProvider{
+		Name:        "baseline-sp",
+		States:      states,
+		Commands:    cmds,
+		P:           ps,
+		ServiceRate: rate,
+		Power:       power,
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// BaselineSystem builds the full Appendix-B system for the configuration.
+func BaselineSystem(cfg BaselineConfig) (*core.System, error) {
+	sp, err := MultiSleepSP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SRFlip <= 0 || cfg.SRFlip > 1 {
+		return nil, fmt.Errorf("devices: SR flip probability %g outside (0,1]", cfg.SRFlip)
+	}
+	return &core.System{
+		Name:     "baseline",
+		SP:       sp,
+		SR:       core.TwoStateSR("baseline-sr", cfg.SRFlip, cfg.SRFlip),
+		QueueCap: cfg.QueueCap,
+	}, nil
+}
+
+// BaselineSystemWithSR is BaselineSystem with a caller-supplied requester
+// (used by the SR-memory experiment of Fig. 13(b), whose SR comes from the
+// k-memory extractor).
+func BaselineSystemWithSR(cfg BaselineConfig, sr *core.ServiceRequester) (*core.System, error) {
+	sp, err := MultiSleepSP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &core.System{
+		Name:     "baseline+" + sr.Name,
+		SP:       sp,
+		SR:       sr,
+		QueueCap: cfg.QueueCap,
+	}, nil
+}

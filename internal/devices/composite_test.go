@@ -1,0 +1,156 @@
+package devices
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// singleProcessor builds the per-processor SP of the web-server study:
+// states {off, on}, commands {off, on}; turn-on completes with probability
+// 0.5 per slice, shut-down within the slice; power follows Section VI-B's
+// active / active±0.5 W scheme.
+func singleProcessor(name string, activePower float64) *core.ServiceProvider {
+	return &core.ServiceProvider{
+		Name:     name,
+		States:   []string{"off", "on"},
+		Commands: []string{"off", "on"},
+		P: []*mat.Matrix{
+			mat.FromRows([][]float64{{1, 0}, {1, 0}}),     // command off
+			mat.FromRows([][]float64{{0.5, 0.5}, {0, 1}}), // command on
+		},
+		ServiceRate: mat.FromRows([][]float64{{0, 0}, {0, 0}}), // combiner overrides
+		Power: mat.FromRows([][]float64{
+			{0, activePower + 0.5},           // off: staying off / turning on
+			{activePower - 0.5, activePower}, // on: shutting down / staying on
+		}),
+	}
+}
+
+// TestCompositeReconstructsWebServer: the generic multi-provider
+// composition (Section VII extension) applied to two single-processor
+// models must reproduce the hand-built web-server SP exactly — transition
+// matrices, powers and throughputs.
+func TestCompositeReconstructsWebServer(t *testing.T) {
+	throughput := [4]float64{0, 0.4, 0.6, 1.0}
+	composite, err := core.CompositeSP("web-composite",
+		[]*core.ServiceProvider{singleProcessor("p1", 1), singleProcessor("p2", 2)},
+		func(states, cmds []int) float64 {
+			return throughput[states[1]<<1|states[0]]
+		})
+	if err != nil {
+		t.Fatalf("CompositeSP: %v", err)
+	}
+	hand := WebServerSP()
+
+	if composite.N() != hand.N() || composite.A() != hand.A() {
+		t.Fatalf("composite is %d×%d, hand-built %d×%d", composite.N(), composite.A(), hand.N(), hand.A())
+	}
+	for c := 0; c < hand.A(); c++ {
+		if d := composite.P[c].MaxAbsDiff(hand.P[c]); d > 1e-12 {
+			t.Errorf("command %d transition matrices differ by %g:\ncomposite\n%vhand\n%v",
+				c, d, composite.P[c], hand.P[c])
+		}
+	}
+	if d := composite.Power.MaxAbsDiff(hand.Power); d > 1e-12 {
+		t.Errorf("power tables differ by %g:\ncomposite\n%vhand\n%v", d, composite.Power, hand.Power)
+	}
+	if d := composite.ServiceRate.MaxAbsDiff(hand.ServiceRate); d > 1e-12 {
+		t.Errorf("service-rate tables differ by %g", d)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := core.CompositeSP("x", nil, func([]int, []int) float64 { return 0 }); err == nil {
+		t.Errorf("empty part list accepted")
+	}
+	if _, err := core.CompositeSP("x", []*core.ServiceProvider{singleProcessor("p", 1)}, nil); err == nil {
+		t.Errorf("nil combiner accepted")
+	}
+	if _, err := core.CompositeSP("x", []*core.ServiceProvider{singleProcessor("p", 1)},
+		func([]int, []int) float64 { return 2 }); err == nil {
+		t.Errorf("out-of-range service rate accepted")
+	}
+	bad := singleProcessor("bad", 1)
+	bad.P[0].Set(0, 0, 0.5)
+	if _, err := core.CompositeSP("x", []*core.ServiceProvider{bad},
+		func([]int, []int) float64 { return 0 }); err == nil {
+		t.Errorf("invalid part accepted")
+	}
+}
+
+// randomTinySP builds a small random valid provider for property tests.
+func randomTinySP(r *rand.Rand, name string) *core.ServiceProvider {
+	n := 1 + r.Intn(3)
+	a := 1 + r.Intn(2)
+	states := make([]string, n)
+	for i := range states {
+		states[i] = string(rune('a' + i))
+	}
+	cmds := make([]string, a)
+	for i := range cmds {
+		cmds[i] = string(rune('A' + i))
+	}
+	ps := make([]*mat.Matrix, a)
+	for c := range ps {
+		p := mat.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			row := p.Row(i)
+			sum := 0.0
+			for j := range row {
+				row[j] = r.Float64() + 1e-6
+				sum += row[j]
+			}
+			row.Scale(1 / sum)
+		}
+		ps[c] = p
+	}
+	rate := mat.NewMatrix(n, a)
+	power := mat.NewMatrix(n, a)
+	for i := range power.Data {
+		power.Data[i] = r.Float64() * 3
+	}
+	return &core.ServiceProvider{Name: name, States: states, Commands: cmds, P: ps, ServiceRate: rate, Power: power}
+}
+
+// Property: composites of random parts are valid, have product dimensions,
+// and their power tables are sums of the part powers.
+func TestCompositeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(3)
+		parts := make([]*core.ServiceProvider, k)
+		wantN, wantA := 1, 1
+		for i := range parts {
+			parts[i] = randomTinySP(r, string(rune('p'+i)))
+			wantN *= parts[i].N()
+			wantA *= parts[i].A()
+		}
+		c, err := core.CompositeSP("rand", parts, func([]int, []int) float64 { return 0.5 })
+		if err != nil {
+			return false
+		}
+		if c.N() != wantN || c.A() != wantA {
+			return false
+		}
+		if c.Validate() != nil {
+			return false
+		}
+		// Spot-check power additivity at a random joint (state, command).
+		s, cmd := r.Intn(wantN), r.Intn(wantA)
+		sum := 0.0
+		si, ci := s, cmd
+		for _, p := range parts {
+			sum += p.Power.At(si%p.N(), ci%p.A())
+			si /= p.N()
+			ci /= p.A()
+		}
+		return mat.Vector{c.Power.At(s, cmd)}.MaxAbsDiff(mat.Vector{sum}) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

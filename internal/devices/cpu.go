@@ -1,0 +1,119 @@
+package devices
+
+import (
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// CPU SP states (Section VI-C, ARM SA-1100). The actual processor has
+// active/idle/sleep; the paper merges active and idle into one macro state
+// (idle transitions are fast and handled greedily below the power manager),
+// leaving two logical power states plus the two uninterruptible transitions
+// carrying the transition power.
+const (
+	CPUActive = 0 // running (or shallow-idle), 0.3 W, full performance
+	CPUTDown  = 1 // shutting down (100 ms, 0.3 W)
+	CPUSleep  = 2 // sleep, 0 W, no performance
+	CPUTUp    = 3 // waking up (100 ms, 0.9 W)
+)
+
+// CPU commands.
+const (
+	CPURun      = 0
+	CPUShutdown = 1
+)
+
+// CPUTimeResolution is Δt for the CPU model: 50 ms, so the 100 ms
+// transitions take two slices.
+const CPUTimeResolution = 0.05 // seconds
+
+// CPUSP builds the SA-1100 service provider: shut-down and turn-on each
+// take two 50 ms slices (one hop into the transient, one deterministic hop
+// out), drawing 0.3 W and 0.9 W respectively; active draws 0.3 W; sleep
+// draws nothing.
+//
+// Wake-on-request (the CPU reacts to interrupts regardless of the power
+// manager) is a property of the composed system, not of the SP alone; see
+// CPUSystem.
+func CPUSP() *core.ServiceProvider {
+	states := []string{"active", "t_down", "sleep", "t_up"}
+	cmds := []string{"run", "shutdown"}
+
+	pRun := mat.FromRows([][]float64{
+		{1, 0, 0, 0}, // active stays
+		{0, 0, 1, 0}, // shutdown completes regardless of command
+		{0, 0, 1, 0}, // sleep stays (wake happens via the system coupling)
+		{1, 0, 0, 0}, // wake completes
+	})
+	pShut := mat.FromRows([][]float64{
+		{0, 1, 0, 0}, // begin shutdown
+		{0, 0, 1, 0},
+		{0, 0, 1, 0},
+		{1, 0, 0, 0},
+	})
+
+	rate := mat.NewMatrix(4, 2)
+	// Full performance while active under either command: if the PM issues
+	// shutdown while requests are pending, the command is ignored by the
+	// coupled dynamics, and service continues.
+	rate.Set(CPUActive, CPURun, 1)
+	rate.Set(CPUActive, CPUShutdown, 1)
+
+	power := mat.NewMatrix(4, 2)
+	for cmd := 0; cmd < 2; cmd++ {
+		power.Set(CPUActive, cmd, 0.3)
+		power.Set(CPUTDown, cmd, 0.3)
+		power.Set(CPUSleep, cmd, 0)
+		power.Set(CPUTUp, cmd, 0.9)
+	}
+
+	return &core.ServiceProvider{
+		Name:        "sa1100",
+		States:      states,
+		Commands:    cmds,
+		P:           []*mat.Matrix{pRun, pShut},
+		ServiceRate: rate,
+		Power:       power,
+	}
+}
+
+// CPUSystem composes the SA-1100 with a workload model, implementing the
+// paper's coupling: "whenever there are incoming requests the SP is
+// insensitive to PM commands, and a turn-on transition is performed
+// unconditionally if a new request arrives when the SP is in sleep state".
+// Requests are not enqueued (queue capacity 0); the performance penalty is
+// 1 exactly when the SR is issuing requests and the CPU is asleep, the
+// undesirable condition whose probability the optimization constrains.
+func CPUSystem(sr *core.ServiceRequester) *core.System {
+	sp := CPUSP()
+	wakeRow := mat.Vector{0, 0, 0, 1} // sleep → t_up
+	stayRow := mat.Vector{1, 0, 0, 0} // active stays active
+	return &core.System{
+		Name:     "cpu",
+		SP:       sp,
+		SR:       sr,
+		QueueCap: 0,
+		SPRow: func(p, cmd, r int) mat.Vector {
+			if sr.Requests[r] == 0 {
+				return nil // uncoupled: follow the commanded dynamics
+			}
+			switch p {
+			case CPUSleep:
+				return wakeRow
+			case CPUActive:
+				return stayRow // shutdown ignored while requests arrive
+			default:
+				return nil // transients complete regardless
+			}
+		},
+		PenaltyFn: func(st core.State, cmd int) float64 {
+			if sr.Requests[st.SR] > 0 && st.SP == CPUSleep {
+				return 1
+			}
+			return 0
+		},
+		// With no queue the default loss indicator would flag every busy
+		// slice; the CPU study does not use request loss.
+		LossFn: func(core.State, int) float64 { return 0 },
+	}
+}

@@ -1,0 +1,427 @@
+package devices
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+func TestExampleSystemBuilds(t *testing.T) {
+	sys := ExampleSystem()
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m.N != 8 || m.A != 2 {
+		t.Errorf("example system is %d states × %d commands, want 8×2", m.N, m.A)
+	}
+	// Expected wake time 10 slices (Example 3.1).
+	et, err := sys.SP.ExpectedTransitionTime(1, 0, CmdOn)
+	if err != nil {
+		t.Fatalf("ExpectedTransitionTime: %v", err)
+	}
+	if math.Abs(et-10) > 1e-9 {
+		t.Errorf("wake time = %g slices, want 10", et)
+	}
+}
+
+// TestDiskTableI verifies that the disk model's expected transition times
+// to active, with go_active asserted continuously, equal Table I exactly:
+// idle 1 ms, LPidle 40 ms, standby 2.2 s, sleep 6.0 s (in 1 ms slices).
+func TestDiskTableI(t *testing.T) {
+	sp := DiskSP()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := []struct {
+		name string
+		from int
+		want float64
+	}{
+		{"idle", DiskIdle, diskIdleOutTime},
+		{"LPidle", DiskLPIdle, diskLPOutTime},
+		{"standby", DiskStandby, diskSBOutTime},
+		{"sleep", DiskSleep, diskSLOutTime},
+	}
+	for _, c := range cases {
+		got, err := sp.ExpectedTransitionTime(c.from, DiskActive, DiskGoActive)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%s → active: %g slices, want %g (Table I)", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDiskPowerTableI(t *testing.T) {
+	sp := DiskSP()
+	wants := map[int]float64{
+		DiskActive:  2.5,
+		DiskIdle:    1.0,
+		DiskLPIdle:  0.8,
+		DiskStandby: 0.3,
+		DiskSleep:   0.1,
+	}
+	for s, w := range wants {
+		for cmd := 0; cmd < sp.A(); cmd++ {
+			if got := sp.Power.At(s, cmd); got != w {
+				t.Errorf("power(%s,%s) = %g, want %g", sp.States[s], sp.Commands[cmd], got, w)
+			}
+		}
+	}
+	// Transients draw full active power (the paper's transition-energy
+	// encoding).
+	for _, s := range []int{DiskTLPIn, DiskTLPOut, DiskTSBIn, DiskTSBOut, DiskTSLIn, DiskTSLOut} {
+		if got := sp.Power.At(s, DiskGoActive); got != 2.5 {
+			t.Errorf("transient %s power = %g, want 2.5", sp.States[s], got)
+		}
+	}
+}
+
+func TestDiskSystemStateCount(t *testing.T) {
+	sys := DiskSystem(core.TwoStateSR("w", 0.1, 0.1))
+	if n := sys.NumStates(); n != 66 {
+		t.Errorf("disk system has %d states, want 66 (11×2×3, Section VI-A)", n)
+	}
+	if _, err := sys.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestDiskTransientsUncontrollable(t *testing.T) {
+	sp := DiskSP()
+	for _, s := range []int{DiskTLPIn, DiskTLPOut, DiskTSBIn, DiskTSBOut, DiskTSLIn, DiskTSLOut} {
+		row0 := sp.P[0].Row(s)
+		for cmd := 1; cmd < sp.A(); cmd++ {
+			if sp.P[cmd].Row(s).MaxAbsDiff(row0) != 0 {
+				t.Errorf("transient %s responds to command %s", sp.States[s], sp.Commands[cmd])
+			}
+		}
+	}
+}
+
+func TestDiskServiceOnlyWhenActive(t *testing.T) {
+	sp := DiskSP()
+	for s := 0; s < sp.N(); s++ {
+		for cmd := 0; cmd < sp.A(); cmd++ {
+			b := sp.ServiceRate.At(s, cmd)
+			if s == DiskActive && cmd == DiskGoActive {
+				if b != DiskServiceRate {
+					t.Errorf("active service rate = %g", b)
+				}
+			} else if b != 0 {
+				t.Errorf("service rate (%s,%s) = %g, want 0", sp.States[s], sp.Commands[cmd], b)
+			}
+		}
+	}
+}
+
+func TestWebServerStructure(t *testing.T) {
+	sp := WebServerSP()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Throughputs of Section VI-B.
+	wantThr := map[int]float64{WebBothOff: 0, WebP1Only: 0.4, WebP2Only: 0.6, WebBothOn: 1.0}
+	for s, w := range wantThr {
+		if got := sp.ServiceRate.At(s, WebCmdBothOn); got != w {
+			t.Errorf("throughput(%s) = %g, want %g", sp.States[s], got, w)
+		}
+	}
+	// Steady-state powers: both on and staying on = 1+2 = 3 W.
+	if got := sp.Power.At(WebBothOn, WebCmdBothOn); got != 3 {
+		t.Errorf("power(both, both) = %g, want 3", got)
+	}
+	// Turn-on power: both off, commanded both on = (1+0.5)+(2+0.5) = 4 W.
+	if got := sp.Power.At(WebBothOff, WebCmdBothOn); got != 4 {
+		t.Errorf("power(off-off → both) = %g, want 4", got)
+	}
+	// Shut-down power: both on, commanded off = (1−0.5)+(2−0.5) = 2 W.
+	if got := sp.Power.At(WebBothOn, WebCmdBothOff); got != 2 {
+		t.Errorf("power(both → off) = %g, want 2", got)
+	}
+	// Off and staying off draws nothing.
+	if got := sp.Power.At(WebBothOff, WebCmdBothOff); got != 0 {
+		t.Errorf("power(off,off) = %g, want 0", got)
+	}
+}
+
+func TestWebServerTurnOnTime(t *testing.T) {
+	sp := WebServerSP()
+	// Expected turn-on of processor 1 from off-off under p1_only: geometric
+	// 0.5 → 2 slices (Section VI-B).
+	et, err := sp.ExpectedTransitionTime(WebBothOff, WebP1Only, WebCmdP1Only)
+	if err != nil {
+		t.Fatalf("ExpectedTransitionTime: %v", err)
+	}
+	if math.Abs(et-2) > 1e-9 {
+		t.Errorf("turn-on time = %g slices, want 2", et)
+	}
+	// Shut-down is single-slice.
+	et, err = sp.ExpectedTransitionTime(WebBothOn, WebBothOff, WebCmdBothOff)
+	if err != nil {
+		t.Fatalf("ExpectedTransitionTime: %v", err)
+	}
+	if math.Abs(et-1) > 1e-9 {
+		t.Errorf("shut-down time = %g slices, want 1", et)
+	}
+}
+
+func TestWebServerSystemBuilds(t *testing.T) {
+	sys := WebServerSystem(core.TwoStateSR("web", 0.2, 0.2))
+	if n := sys.NumStates(); n != 8 {
+		t.Errorf("web system has %d states, want 8 (Section VI-B)", n)
+	}
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Penalty and loss are zeroed for this system.
+	pen, _ := m.Metric(core.MetricPenalty)
+	for i := range pen.Data {
+		if pen.Data[i] != 0 {
+			t.Fatalf("penalty not zeroed")
+		}
+	}
+}
+
+func TestCPUWakeOnRequest(t *testing.T) {
+	sr := core.TwoStateSR("cpu", 0.1, 0.1)
+	sys := CPUSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m.N != 8 {
+		t.Errorf("CPU system has %d states, want 8 (4 SP × 2 SR)", m.N)
+	}
+	// From (sleep, busy): all mass must leave sleep toward t_up regardless
+	// of command.
+	from := sys.Index(core.State{SP: CPUSleep, SR: 1, Q: 0})
+	for cmd := 0; cmd < 2; cmd++ {
+		mass := 0.0
+		for j := 0; j < m.N; j++ {
+			if sys.StateOf(j).SP == CPUTUp {
+				mass += m.P[cmd].At(from, j)
+			}
+		}
+		if math.Abs(mass-1) > 1e-12 {
+			t.Errorf("cmd %d: wake mass = %g, want 1", cmd, mass)
+		}
+	}
+	// From (active, busy) with shutdown: command ignored, stays active.
+	from = sys.Index(core.State{SP: CPUActive, SR: 1, Q: 0})
+	mass := 0.0
+	for j := 0; j < m.N; j++ {
+		if sys.StateOf(j).SP == CPUActive {
+			mass += m.P[CPUShutdown].At(from, j)
+		}
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("shutdown while busy: active mass = %g, want 1", mass)
+	}
+	// From (active, idle) with shutdown: transition begins.
+	from = sys.Index(core.State{SP: CPUActive, SR: 0, Q: 0})
+	mass = 0.0
+	for j := 0; j < m.N; j++ {
+		if sys.StateOf(j).SP == CPUTDown {
+			mass += m.P[CPUShutdown].At(from, j)
+		}
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("shutdown while idle: t_down mass = %g, want 1", mass)
+	}
+}
+
+func TestCPUPenaltyMetric(t *testing.T) {
+	sr := core.TwoStateSR("cpu", 0.1, 0.1)
+	sys := CPUSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	pen, _ := m.Metric(core.MetricPenalty)
+	iSleepBusy := sys.Index(core.State{SP: CPUSleep, SR: 1, Q: 0})
+	if pen.At(iSleepBusy, 0) != 1 {
+		t.Errorf("penalty(sleep,busy) = %g, want 1", pen.At(iSleepBusy, 0))
+	}
+	iSleepIdle := sys.Index(core.State{SP: CPUSleep, SR: 0, Q: 0})
+	if pen.At(iSleepIdle, 0) != 0 {
+		t.Errorf("penalty(sleep,idle) = %g, want 0", pen.At(iSleepIdle, 0))
+	}
+	iActiveBusy := sys.Index(core.State{SP: CPUActive, SR: 1, Q: 0})
+	if pen.At(iActiveBusy, 0) != 0 {
+		t.Errorf("penalty(active,busy) = %g, want 0", pen.At(iActiveBusy, 0))
+	}
+}
+
+func TestBaselineStructure(t *testing.T) {
+	cfg := DefaultBaseline()
+	sys, err := BaselineSystem(cfg)
+	if err != nil {
+		t.Fatalf("BaselineSystem: %v", err)
+	}
+	// 2 SP states × 2 SR × 3 queue.
+	if n := sys.NumStates(); n != 12 {
+		t.Errorf("baseline has %d states, want 12", n)
+	}
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m.A != 2 {
+		t.Errorf("baseline has %d commands, want 2", m.A)
+	}
+	// Power table: active 3, transition 4, sleep 2.
+	sp := sys.SP
+	if sp.Power.At(0, 0) != 3 || sp.Power.At(0, 1) != 4 ||
+		sp.Power.At(1, 0) != 4 || sp.Power.At(1, 1) != 2 {
+		t.Errorf("baseline power table wrong:\n%v", sp.Power)
+	}
+}
+
+func TestBaselineDeepSleep(t *testing.T) {
+	cfg := DefaultBaseline()
+	cfg.Sleep = DeepSleepStates()
+	sys, err := BaselineSystem(cfg)
+	if err != nil {
+		t.Fatalf("BaselineSystem: %v", err)
+	}
+	sp := sys.SP
+	if sp.N() != 5 || sp.A() != 5 {
+		t.Fatalf("deep-sleep SP is %d×%d, want 5 states × 5 commands", sp.N(), sp.A())
+	}
+	// Expected wake times 1/WakeProb (Eq. 2).
+	for i, s := range cfg.Sleep {
+		et, err := sp.ExpectedTransitionTime(1+i, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if math.Abs(et-1/s.WakeProb) > 1e-6 {
+			t.Errorf("%s wake time = %g, want %g", s.Name, et, 1/s.WakeProb)
+		}
+	}
+	// Sleep-to-sleep commands are no-ops.
+	if got := sp.P[2].At(1, 1); got != 1 {
+		t.Errorf("sleep1 under go_sleep2 moved (p=%g)", got)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	cfg := DefaultBaseline()
+	cfg.Sleep = nil
+	if _, err := MultiSleepSP(cfg); err == nil {
+		t.Errorf("no sleep states accepted")
+	}
+	cfg = DefaultBaseline()
+	cfg.Sleep[0].WakeProb = 0
+	if _, err := MultiSleepSP(cfg); err == nil {
+		t.Errorf("zero wake probability accepted")
+	}
+	cfg = DefaultBaseline()
+	cfg.ServiceRate = 2
+	if _, err := MultiSleepSP(cfg); err == nil {
+		t.Errorf("service rate 2 accepted")
+	}
+	cfg = DefaultBaseline()
+	cfg.SRFlip = 0
+	if _, err := BaselineSystem(cfg); err == nil {
+		t.Errorf("zero flip probability accepted")
+	}
+}
+
+// TestDiskOptimizationSmoke runs the full pipeline on the 66-state disk
+// system: optimization must succeed, respect the constraint, and beat the
+// always-active policy on power.
+func TestDiskOptimizationSmoke(t *testing.T) {
+	// Sparse bursty workload: short bursts (mean ~3 slices) separated by
+	// long gaps (mean 500 slices), so the 0.5/slice service rate keeps up
+	// and sleep states can pay off. Always-active gives penalty 0.012 and
+	// loss 0.003 here, so the bounds below leave real slack for shutdown.
+	sr := core.TwoStateSR("disk-w", 0.002, 0.3)
+	sys := DiskSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:     core.HorizonToAlpha(1e6),
+		Initial:   core.Delta(m.N, sys.Index(core.State{SP: DiskActive})),
+		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds: []core.Bound{
+			{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.3},
+			{Metric: core.MetricLoss, Rel: lp.LE, Value: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Objective >= 2.5 {
+		t.Errorf("optimal disk power %g does not beat always-active 2.5 W", res.Objective)
+	}
+	if res.Objective <= 0.1 {
+		t.Errorf("optimal disk power %g below deepest sleep power", res.Objective)
+	}
+	// The disk system is numerically stiff (transition probabilities down
+	// to 1/5999 combined with α = 1−10⁻⁶ give both the LP and the
+	// evaluation solve condition numbers near 10⁶), so LP-vs-evaluation
+	// agreement is limited to ~10⁻³ here; the tight 10⁻⁶ identity is
+	// asserted on the well-conditioned example system in internal/core.
+	if d := math.Abs(res.Eval.Average(core.MetricPower) - res.Objective); d > 2e-3 {
+		t.Errorf("LP/evaluation mismatch: %g", d)
+	}
+}
+
+// TestCPUOptimizationSmoke checks the CPU pipeline: minimizing power under
+// a penalty bound must shut the CPU down some of the time.
+func TestCPUOptimizationSmoke(t *testing.T) {
+	sr := core.TwoStateSR("cpu-w", 0.02, 0.05)
+	sys := CPUSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:     core.HorizonToAlpha(1e5),
+		Initial:   core.Delta(m.N, sys.Index(core.State{SP: CPUActive})),
+		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:    []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.05}},
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Objective >= 0.3 {
+		t.Errorf("optimal CPU power %g does not beat always-active 0.3 W", res.Objective)
+	}
+	if res.Averages[core.MetricPenalty] > 0.05+1e-6 {
+		t.Errorf("penalty %g exceeds bound", res.Averages[core.MetricPenalty])
+	}
+}
+
+// TestWebServerOptimizationSmoke: min power subject to a throughput floor.
+func TestWebServerOptimizationSmoke(t *testing.T) {
+	sr := core.TwoStateSR("web-w", 0.3, 0.3)
+	sys := WebServerSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:     core.HorizonToAlpha(86400),
+		Initial:   core.Delta(m.N, sys.Index(core.State{SP: WebBothOn})),
+		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:    []core.Bound{{Metric: core.MetricService, Rel: lp.GE, Value: 0.5}},
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Averages[core.MetricService] < 0.5-1e-6 {
+		t.Errorf("throughput %g below floor", res.Averages[core.MetricService])
+	}
+	if res.Objective >= 3 {
+		t.Errorf("optimal power %g does not beat both-always-on 3 W", res.Objective)
+	}
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Experiments are deterministic for a fixed Config, so results are computed
+// once and shared across shape tests.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Result{}
+)
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := cache[id]; ok {
+		return r
+	}
+	r, err := Run(id, Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	cache[id] = r
+	return r
+}
+
+// series fetches a named series or fails.
+func series(t *testing.T, r *Result, name string) []Point {
+	t.Helper()
+	s, ok := r.Series[name]
+	if !ok || len(s) == 0 {
+		t.Fatalf("%s: series %q missing (have %v)", r.ID, name, keys(r.Series))
+	}
+	return s
+}
+
+func keys(m map[string][]Point) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// feasibleYs extracts the Y values of feasible points in order.
+func feasibleYs(pts []Point) []float64 {
+	var ys []float64
+	for _, p := range pts {
+		if p.Feasible {
+			ys = append(ys, p.Y)
+		}
+	}
+	return ys
+}
+
+// monotone checks that ys is non-increasing (dir < 0) or non-decreasing
+// (dir > 0) within tol.
+func monotone(t *testing.T, label string, ys []float64, dir int, tol float64) {
+	t.Helper()
+	for i := 1; i < len(ys); i++ {
+		d := ys[i] - ys[i-1]
+		if dir < 0 && d > tol {
+			t.Errorf("%s: not non-increasing at %d: %g → %g", label, i, ys[i-1], ys[i])
+		}
+		if dir > 0 && d < -tol {
+			t.Errorf("%s: not non-decreasing at %d: %g → %g", label, i, ys[i-1], ys[i])
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"exampleA2", "fig10", "fig12a", "fig12b", "fig13a", "fig13b",
+		"fig14a", "fig14b", "fig6", "fig8b", "fig9a", "fig9b", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestRenderAndTable(t *testing.T) {
+	r := run(t, "table1")
+	var buf bytes.Buffer
+	if err := Render(&buf, r); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if buf.Len() == 0 || !bytes.Contains(buf.Bytes(), []byte("table1")) {
+		t.Errorf("render output missing content")
+	}
+}
+
+// TestTable1Exact: the disk model reproduces Table I transition times and
+// powers exactly.
+func TestTable1Exact(t *testing.T) {
+	r := run(t, "table1")
+	for _, p := range series(t, r, "transition_ms") {
+		if math.Abs(p.Y-p.X) > 1e-6*p.X {
+			t.Errorf("transition time %g slices, want %g (Table I)", p.Y, p.X)
+		}
+	}
+	for _, p := range series(t, r, "power_w") {
+		if p.Y != p.X {
+			t.Errorf("power %g W, want %g W (Table I)", p.Y, p.X)
+		}
+	}
+}
+
+// TestFig6Shapes: tight loss bound pins power near the maximum; the loose
+// curve decreases substantially; an infeasible region exists.
+func TestFig6Shapes(t *testing.T) {
+	r := run(t, "fig6")
+	tight := series(t, r, "loss_tight")
+	loose := series(t, r, "loss_loose")
+
+	infeasibleSeen := false
+	for _, p := range tight {
+		if !p.Feasible {
+			infeasibleSeen = true
+		}
+	}
+	if !infeasibleSeen {
+		t.Errorf("no infeasible region (paper: bounds below the minimum achievable queue length)")
+	}
+
+	ys := feasibleYs(tight)
+	if len(ys) == 0 {
+		t.Fatalf("tight curve fully infeasible")
+	}
+	if spread := ys[0] - ys[len(ys)-1]; spread > 0.2 {
+		t.Errorf("tight-loss curve not flat: spread %g", spread)
+	}
+	if ys[0] < 2.8 {
+		t.Errorf("tight-loss power %g, want near the 3 W maximum", ys[0])
+	}
+
+	lys := feasibleYs(loose)
+	monotone(t, "fig6 loose", lys, -1, 1e-6)
+	if lys[0]-lys[len(lys)-1] < 1.0 {
+		t.Errorf("loose curve spans only %g W, want a substantial tradeoff", lys[0]-lys[len(lys)-1])
+	}
+}
+
+// TestFig8bShapes: the optimal curve is non-increasing; simulated circles
+// sit near it; no heuristic beats the exact per-point optimum by more than
+// trace/model mismatch noise.
+func TestFig8bShapes(t *testing.T) {
+	r := run(t, "fig8b")
+	opt := series(t, r, "optimal")
+	monotone(t, "fig8b optimal", feasibleYs(opt), -1, 1e-6)
+
+	for _, p := range series(t, r, "simulated") {
+		want := curveAt(opt, p.X)
+		if p.Y > want+0.25 {
+			t.Errorf("simulated point (%g, %g) far above curve value %g", p.X, p.Y, want)
+		}
+	}
+	// Heuristics are measured on the trace while the optimum is computed on
+	// the extracted model, so the margin carries extraction sampling error;
+	// quick mode's 60k-slice trace leaves ~0.2 W of it (the full-scale run
+	// recorded in EXPERIMENTS.md measures 0.01 W).
+	margin := series(t, r, "dominance_margin")[0].Y
+	if margin > 0.2 {
+		t.Errorf("heuristic beats the optimal curve by %g W (model mismatch should stay below 0.2)", margin)
+	}
+	// The deepest greedy policies must be far off the curve (the paper's
+	// point that eager deep shutdown is counterproductive on a fast-wake
+	// scale): greedy-sleep costs more power than greedy-idle.
+	greedy := series(t, r, "greedy")
+	if greedy[3].Y < greedy[0].Y {
+		t.Errorf("greedy-sleep (%g W) cheaper than greedy-idle (%g W)?", greedy[3].Y, greedy[0].Y)
+	}
+}
+
+// TestFig9aShapes: the optimal power curve grows with the throughput floor,
+// session simulation matches it, and the fast processor is never used
+// alone.
+func TestFig9aShapes(t *testing.T) {
+	r := run(t, "fig9a")
+	opt := series(t, r, "optimal")
+	monotone(t, "fig9a optimal", feasibleYs(opt), +1, 1e-6)
+
+	simulated := series(t, r, "simulated")
+	for i, p := range simulated {
+		if d := math.Abs(p.Y - opt[i].Y); d > 0.35 {
+			t.Errorf("session-sim power %g vs LP %g at floor %g (Δ=%g)", p.Y, opt[i].Y, p.X, d)
+		}
+	}
+	for _, p := range series(t, r, "p2alone") {
+		if p.Y > 1e-6 {
+			t.Errorf("processor 2 used alone with frequency %g at floor %g (paper: never)", p.Y, p.X)
+		}
+	}
+}
+
+// TestFig9bShapes: stochastic control dominates the timeout curve.
+func TestFig9bShapes(t *testing.T) {
+	r := run(t, "fig9b")
+	opt := series(t, r, "optimal")
+	monotone(t, "fig9b optimal", feasibleYs(opt), -1, 1e-6)
+	for _, p := range series(t, r, "timeout") {
+		want := curveAt(opt, p.X)
+		if want-p.Y > 0.02 {
+			t.Errorf("timeout point (%g, %g) beats the optimal curve (%g) by %g W",
+				p.X, p.Y, want, want-p.Y)
+		}
+	}
+}
+
+// TestFig10Shapes: on the non-stationary trace at least one timeout policy
+// Pareto-dominates a stochastic-control point (the paper's model-mismatch
+// caveat).
+func TestFig10Shapes(t *testing.T) {
+	r := run(t, "fig10")
+	if n := series(t, r, "dominations")[0].Y; n < 1 {
+		t.Errorf("no timeout point dominates stochastic control (paper found some)")
+	}
+}
+
+// TestFig12aShapes: nested sleep-state sets give non-increasing power.
+func TestFig12aShapes(t *testing.T) {
+	r := run(t, "fig12a")
+	for _, name := range []string{"tight", "loose"} {
+		pts := series(t, r, name)
+		// Points 0..3 are the nested structures s1 ⊂ s1+s2 ⊂ s1+s2+s3 ⊂
+		// s1..s4.
+		nested := feasibleYs(pts[:4])
+		monotone(t, "fig12a "+name+" nested", nested, -1, 1e-6)
+		// The marginal gain of deep states is smaller under the tight
+		// constraint (paper's observation).
+		gainTight := series(t, r, "tight")[0].Y - series(t, r, "tight")[3].Y
+		gainLoose := series(t, r, "loose")[0].Y - series(t, r, "loose")[3].Y
+		if gainTight > gainLoose+1e-9 {
+			t.Errorf("deep-state gain under tight constraint (%g) exceeds loose (%g)", gainTight, gainLoose)
+		}
+	}
+}
+
+// TestFig12bShapes: faster transitions never cost more power; very slow
+// transitions leave the sleep state unused.
+func TestFig12bShapes(t *testing.T) {
+	r := run(t, "fig12b")
+	for _, name := range []string{"p2_perf", "p2_loss", "p0_perf", "p0_loss"} {
+		pts := series(t, r, name)
+		monotone(t, "fig12b "+name, feasibleYs(pts), -1, 1e-6)
+		// Slowest transition: sleep state barely usable, power near 3 W
+		// under the loss constraint (the perf-constrained curves may still
+		// exploit the short horizon).
+		if name == "p2_loss" || name == "p0_loss" {
+			if pts[0].Y < 2.5 {
+				t.Errorf("%s at slowest transition: power %g, want near always-on", name, pts[0].Y)
+			}
+		}
+	}
+	// A fast 2 W sleep state beats a slow 0 W one (paper's observation).
+	p2 := series(t, r, "p2_loss")
+	p0 := series(t, r, "p0_loss")
+	if p2[len(p2)-1].Y > p0[0].Y {
+		t.Errorf("fast 2W sleep (%g) not better than slow 0W sleep (%g)", p2[len(p2)-1].Y, p0[0].Y)
+	}
+}
+
+// TestFig13aShapes: burstier workloads (smaller flip probability) allow
+// lower power at identical load.
+func TestFig13aShapes(t *testing.T) {
+	r := run(t, "fig13a")
+	for _, name := range []string{"tight", "loose"} {
+		monotone(t, "fig13a "+name, feasibleYs(series(t, r, name)), +1, 0.02)
+	}
+	// The effect must be substantial between extremes.
+	loose := feasibleYs(series(t, r, "loose"))
+	if loose[len(loose)-1]-loose[0] < 0.3 {
+		t.Errorf("burstiness effect too small: %g W", loose[len(loose)-1]-loose[0])
+	}
+}
+
+// TestFig13bShapes: more SR memory never hurts on the ground-truth trace
+// cost, and helps more with more sleep states.
+func TestFig13bShapes(t *testing.T) {
+	r := run(t, "fig13b")
+	t1 := feasibleYs(series(t, r, "trace_1-sleep"))
+	t2 := feasibleYs(series(t, r, "trace_2-sleep"))
+	if t1[len(t1)-1] > t1[0]+0.02 {
+		t.Errorf("1-sleep: memory hurt trace cost: %g → %g", t1[0], t1[len(t1)-1])
+	}
+	if t2[len(t2)-1] > t2[0]+0.02 {
+		t.Errorf("2-sleep: memory hurt trace cost: %g → %g", t2[0], t2[len(t2)-1])
+	}
+	gain1 := t1[0] - t1[len(t1)-1]
+	gain2 := t2[0] - t2[len(t2)-1]
+	if gain2 < gain1 {
+		t.Errorf("memory gain with 2 sleep states (%g) below 1 sleep state (%g)", gain2, gain1)
+	}
+}
+
+// TestFig14aShapes: the documented divergence (LP power increases with
+// horizon under the stopping-time formulation) plus the robustness
+// restatement of the paper's claim (long-horizon policies stay feasible on
+// long sessions; the shortest-horizon policies do not).
+func TestFig14aShapes(t *testing.T) {
+	r := run(t, "fig14a")
+	for _, name := range []string{"lp_tight", "lp_loose"} {
+		// X is the trap probability in decreasing order of horizon... the
+		// sweep runs from large trap prob (short horizon) to small (long
+		// horizon); LP power must be non-decreasing along it.
+		monotone(t, "fig14a "+name, feasibleYs(series(t, r, name)), +1, 1e-6)
+	}
+	for _, name := range []string{"longrun_ok_tight", "longrun_ok_loose"} {
+		ok := series(t, r, name)
+		if ok[0].Y != 0 {
+			t.Errorf("%s: shortest-horizon policy feasible on long sessions (expected myopic violation)", name)
+		}
+		if ok[len(ok)-1].Y != 1 {
+			t.Errorf("%s: longest-horizon policy infeasible on long sessions", name)
+		}
+	}
+}
+
+// TestFig14bShapes: under a tight (dominating) loss constraint longer
+// queues reduce power over the small-capacity range; under a loose one the
+// performance constraint dominates and shorter queues win.
+func TestFig14bShapes(t *testing.T) {
+	r := run(t, "fig14b")
+	tight := feasibleYs(series(t, r, "loss_tight"))
+	if tight[2] > tight[0]+1e-6 {
+		t.Errorf("tight loss: power did not drop with queue capacity (%v)", tight)
+	}
+	loose := feasibleYs(series(t, r, "loss_loose"))
+	monotone(t, "fig14b loose", loose, +1, 1e-6)
+}
+
+// TestExampleA2Claims: the worked example's structural results.
+func TestExampleA2Claims(t *testing.T) {
+	r := run(t, "exampleA2")
+	power := series(t, r, "power")[0].Y
+	if power >= 3 || power < 1 {
+		t.Errorf("optimal power %g outside (1, 3)", power)
+	}
+	if series(t, r, "penalty")[0].Y > 0.5+1e-6 {
+		t.Errorf("penalty bound violated")
+	}
+	if series(t, r, "loss")[0].Y > 0.3+1e-6 {
+		t.Errorf("loss bound violated")
+	}
+	if series(t, r, "randomized_states")[0].Y < 1 {
+		t.Errorf("no randomized state (Theorem A.2)")
+	}
+}
+
+// TestAllExperimentsRun executes the full registry in quick mode so any
+// experiment not covered by a dedicated shape test still gets smoke-tested.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		r := run(t, id)
+		if r.ID != id {
+			t.Errorf("experiment %s returned ID %s", id, r.ID)
+		}
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Errorf("experiment %s produced no table rows", id)
+		}
+	}
+}

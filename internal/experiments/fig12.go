@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// baselineInitial returns the neutral initial distribution used by all
+// Appendix-B experiments: SP active, queue empty, SR in its stationary
+// distribution. Starting the SR at a fixed state would bias short-horizon
+// results (the whole session would see the initial idle or busy run).
+func baselineInitial(sys *core.System) (mat.Vector, error) {
+	chain, err := sys.SR.Chain()
+	if err != nil {
+		return nil, err
+	}
+	pi, err := chain.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	q0 := mat.NewVector(sys.NumStates())
+	for r, p := range pi {
+		q0[sys.Index(core.State{SP: 0, SR: r, Q: 0})] = p
+	}
+	return q0, nil
+}
+
+// minPowerBaseline optimizes min power for a baseline configuration under
+// the given bounds; it returns +Inf when infeasible.
+func minPowerBaseline(cfg devices.BaselineConfig, alpha float64, bounds []core.Bound) (float64, error) {
+	sys, err := devices.BaselineSystem(cfg)
+	if err != nil {
+		return 0, err
+	}
+	m, err := sys.Build()
+	if err != nil {
+		return 0, err
+	}
+	q0, err := baselineInitial(sys)
+	if err != nil {
+		return 0, err
+	}
+	r, err := core.Optimize(m, core.Options{
+		Alpha:          alpha,
+		Initial:        q0,
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:         bounds,
+		SkipEvaluation: true,
+	})
+	if err != nil {
+		if r != nil && r.Status == lp.Infeasible {
+			return math.Inf(1), nil
+		}
+		return 0, err
+	}
+	return r.Objective, nil
+}
+
+// Fig12a reproduces paper Fig. 12(a): optimal power versus the set of
+// available sleep states, under a tight and a loose performance constraint,
+// time horizon 500 slices.
+//
+// Expected shapes: adding sleep states never increases power (the policy
+// space nests); the marginal benefit of deep states shrinks when the
+// performance constraint is tight; a single well-chosen deep state can beat
+// the shallow baseline.
+func Fig12a(cfg Config) (*Result, error) {
+	all := devices.DeepSleepStates()
+	structures := []struct {
+		name string
+		sel  []int
+	}{
+		{"s1", []int{0}},
+		{"s1+s2", []int{0, 1}},
+		{"s1+s2+s3", []int{0, 1, 2}},
+		{"s1..s4", []int{0, 1, 2, 3}},
+		{"s2", []int{1}},
+		{"s4", []int{3}},
+	}
+	constraints := []struct {
+		name  string
+		bound float64
+	}{
+		{"tight", 0.05},
+		{"loose", 0.5},
+	}
+	alpha := core.HorizonToAlpha(500)
+
+	res := &Result{
+		ID:    "fig12a",
+		Title: "Baseline system: optimal power vs available sleep states (horizon 500)",
+	}
+	tbl := NewTable("sleep states", "power (perf ≤ 0.05)", "power (perf ≤ 0.5)")
+	for si, s := range structures {
+		row := []any{s.name}
+		for _, c := range constraints {
+			bc := devices.DefaultBaseline()
+			bc.Sleep = nil
+			for _, i := range s.sel {
+				bc.Sleep = append(bc.Sleep, all[i])
+			}
+			p, err := minPowerBaseline(bc, alpha, []core.Bound{
+				{Metric: core.MetricPenalty, Rel: lp.LE, Value: c.bound},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.AddSeries(c.name, Point{X: float64(si), Y: p, Feasible: !math.IsInf(p, 1)})
+			row = append(row, p)
+		}
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	res.Notef("adding sleep states never increases optimal power (nested policy spaces); deep states help less under the tight constraint (paper Fig. 12(a))")
+	return res, nil
+}
+
+// Fig12b reproduces paper Fig. 12(b): optimal power versus the sleep-state
+// exit transition probability (inverse of the average wake time), for sleep
+// power 2 W and 0 W, each under a performance-dominated and a
+// loss-dominated constraint.
+//
+// Expected shapes: faster transitions (larger probability, right side) give
+// lower power; with very slow transitions the sleep state goes unused and
+// power stays at the active level; a fast 2 W sleep state can beat a slow
+// 0 W one.
+func Fig12b(cfg Config) (*Result, error) {
+	wakeProbs := pick(cfg,
+		[]float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0},
+		[]float64{0.001, 0.01, 0.1, 1.0})
+	sleepPowers := []float64{2, 0}
+	constraints := []struct {
+		name  string
+		bound core.Bound
+	}{
+		{"perf", core.Bound{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5}},
+		{"loss", core.Bound{Metric: core.MetricDrops, Rel: lp.LE, Value: 0.02}},
+	}
+	alpha := core.HorizonToAlpha(1000)
+
+	res := &Result{
+		ID:    "fig12b",
+		Title: "Baseline system: optimal power vs sleep-state transition speed",
+	}
+	tbl := NewTable("wake prob", "sleep 2W/perf", "sleep 2W/loss", "sleep 0W/perf", "sleep 0W/loss")
+	for _, wp := range wakeProbs {
+		row := []any{wp}
+		for _, sp := range sleepPowers {
+			for _, c := range constraints {
+				bc := devices.DefaultBaseline()
+				bc.Sleep = []devices.SleepState{{Name: "sleep", Power: sp, WakeProb: wp}}
+				p, err := minPowerBaseline(bc, alpha, []core.Bound{c.bound})
+				if err != nil {
+					return nil, err
+				}
+				res.AddSeries(fmt.Sprintf("p%g_%s", sp, c.name), Point{X: wp, Y: p, Feasible: !math.IsInf(p, 1)})
+				row = append(row, p)
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	res.Notef("power is strongly sensitive to transition speed; slow transitions leave the sleep state unused (power ≈ active 3 W), paper Fig. 12(b)")
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+)
+
+// Fig14a examines paper Fig. 14(a): optimal power versus the time horizon,
+// expressed as the per-slice trap-state probability 1−α, for two
+// request-loss constraints. SP has the four deep sleep states; performance
+// bound 0.5; queue length 2.
+//
+// This is the one experiment whose direction diverges from the paper, for a
+// reason the reproduction makes precise. Under the stopping-time
+// formulation, shorter sessions can only be cheaper: any feasible policy
+// stays feasible as the horizon shrinks, and transient one-way policies —
+// "park in a deep sleep state during what is probably the session's last
+// idle period and never pay the wake-up" — add savings that long sessions
+// cannot access. So the optimal discounted power *decreases* as the horizon
+// shrinks (column "LP power"), opposite to the paper's plot.
+//
+// The paper's amortization intuition ("the longer the horizon, the longer
+// the optimizer can amortize wrong decisions") is real, and shows up in the
+// complementary measurement this experiment adds: re-evaluating each
+// H-optimized policy on long sessions (the longest swept horizon) shows
+// that short-horizon policies are myopically aggressive — their long-run
+// penalty/loss blow past the constraints — while long-horizon policies
+// remain feasible. Longer optimization horizons buy robustness, which is
+// the operational content of the paper's claim.
+func Fig14a(cfg Config) (*Result, error) {
+	trapProbs := pick(cfg,
+		[]float64{1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5},
+		[]float64{1e-2, 1e-3, 1e-4, 1e-5})
+	lossBounds := []float64{0.05, 0.25}
+	evalAlpha := 1 - trapProbs[len(trapProbs)-1]
+
+	bc := devices.DefaultBaseline()
+	bc.Sleep = devices.DeepSleepStates()
+	sys, err := devices.BaselineSystem(bc)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sys.Build()
+	if err != nil {
+		return nil, err
+	}
+	q0, err := baselineInitial(sys)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "fig14a",
+		Title: "Baseline system (4 sleep states): optimal power vs time horizon (trap probability)",
+	}
+	tbl := NewTable("trap prob (1-α)", "horizon", "loss bound",
+		"LP power", "long-run power", "long-run penalty", "long-run loss", "feasible long-run")
+	for _, tp := range trapProbs {
+		alpha := 1 - tp
+		for _, lb := range lossBounds {
+			r, err := core.Optimize(m, core.Options{
+				Alpha:     alpha,
+				Initial:   q0,
+				Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+				Bounds: []core.Bound{
+					{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5},
+					{Metric: core.MetricLoss, Rel: lp.LE, Value: lb},
+				},
+				SkipEvaluation: true,
+			})
+			series := "tight"
+			if lb > 0.05 {
+				series = "loose"
+			}
+			if err != nil {
+				tbl.AddRow(tp, 1/tp, lb, "infeasible", "-", "-", "-", "-")
+				res.AddSeries("lp_"+series, Point{X: tp})
+				continue
+			}
+			// Long-session re-evaluation of the H-optimized policy.
+			ev, err := core.Evaluate(m, r.Policy, q0, evalAlpha)
+			if err != nil {
+				return nil, err
+			}
+			longOK := ev.Average(core.MetricPenalty) <= 0.5+1e-6 && ev.Average(core.MetricLoss) <= lb+1e-6
+			res.AddSeries("lp_"+series, Point{X: tp, Y: r.Objective, Feasible: true})
+			res.AddSeries("longrun_ok_"+series, Point{X: tp, Y: b2f(longOK), Feasible: true})
+			tbl.AddRow(tp, 1/tp, lb, r.Objective,
+				ev.Average(core.MetricPower), ev.Average(core.MetricPenalty), ev.Average(core.MetricLoss),
+				fmt.Sprintf("%v", longOK))
+		}
+	}
+	res.Table = tbl
+	res.Notef("DIVERGENCE from paper Fig. 14(a): the optimal discounted power decreases for *shorter* horizons — transient one-way (\"final park\") policies are feasible only for short sessions")
+	res.Notef("the paper's amortization claim appears as robustness: short-horizon policies violate the constraints when run over long sessions; long-horizon policies stay feasible")
+	return res, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fig14b reproduces paper Fig. 14(b): optimal power versus the maximum
+// queue length, for three request-loss constraints with the performance
+// bound fixed at 0.5.
+//
+// Expected shapes (the paper's "more involved" ones): when the loss
+// constraint dominates, longer queues reduce the chance of a full queue and
+// power can drop; when the performance (waiting-time) constraint dominates,
+// a high-capacity queue lets backlog — and hence average waiting — grow, so
+// shorter queues do better.
+func Fig14b(cfg Config) (*Result, error) {
+	queueLens := pick(cfg, []int{1, 2, 3, 4, 6, 8}, []int{1, 2, 4, 8})
+	lossBounds := []struct {
+		name  string
+		bound float64
+	}{
+		{"tight", 0.02},
+		{"medium", 0.1},
+		{"loose", 0.6},
+	}
+	alpha := core.HorizonToAlpha(pick(cfg, 1e4, 1e3))
+
+	res := &Result{
+		ID:    "fig14b",
+		Title: "Baseline system (4 sleep states): optimal power vs queue length",
+	}
+	tbl := NewTable("queue length", "power (loss ≤ 0.02)", "power (loss ≤ 0.1)", "power (loss ≤ 0.6)")
+	for _, q := range queueLens {
+		row := []any{q}
+		for _, lb := range lossBounds {
+			bc := devices.DefaultBaseline()
+			bc.Sleep = devices.DeepSleepStates()
+			bc.QueueCap = q
+			p, err := minPowerBaseline(bc, alpha, []core.Bound{
+				{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5},
+				{Metric: core.MetricLoss, Rel: lp.LE, Value: lb.bound},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.AddSeries("loss_"+lb.name, Point{X: float64(q), Y: p, Feasible: !math.IsInf(p, 1)})
+			row = append(row, p)
+		}
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	res.Notef("loss-dominated regime: longer queues help; performance-dominated regime: shorter queues win (paper Fig. 14(b))")
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Fig8b reproduces paper Fig. 8(b): the disk-drive power/performance
+// tradeoff. The pipeline is the paper's (Fig. 7): a bursty disk trace is
+// generated (substituting for the Auspex traces), the SR extractor builds a
+// two-state workload model, the optimizer sweeps the performance constraint
+// to trace the optimal curve, each optimal policy is validated by
+// trace-driven simulation (the paper's circles), and the heuristic policies
+// — greedy shutdown into each inactive state (up triangles), timeout
+// policies (down triangles) and randomized timeout policies (boxes) — are
+// simulated on the same trace.
+//
+// The sweep is self-calibrating: the always-active policy fixes the floor
+// of achievable average queue length, the unconstrained optimum fixes the
+// queue level where the constraint stops mattering, and the penalty bounds
+// are spread logarithmically between them so the curve covers the whole
+// tradeoff regardless of the generated workload's statistics.
+//
+// Expected shape: simulated optimal points lie near the analytic curve, and
+// every heuristic point lies on or above it.
+func Fig8b(cfg Config) (*Result, error) {
+	rng := newRNG(cfg, 8)
+	n := pick(cfg, 400000, 60000)
+	// Bursty on/off disk traffic: request bursts of ~3 ms separated by idle
+	// gaps averaging 500 ms — long enough for the shallow sleep states to
+	// pay off. The generator is itself a two-state Markov process, so the
+	// extracted SR model fits it well and the trace-driven circles land on
+	// the analytic curve, as the paper found for the Auspex traces. (The
+	// heavy-tailed, deliberately non-Markovian disk workload is exercised
+	// by the SR-memory experiment, Fig. 13(b).)
+	counts := trace.OnOff(rng, n, 1.0/500, 1.0/3)
+
+	sr, err := trace.ExtractSR("disk-workload", counts, 1)
+	if err != nil {
+		return nil, err
+	}
+	sys := devices.DiskSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		return nil, err
+	}
+	// The optimization horizon equals the simulated trace length, exactly
+	// as in the paper (both were 10⁶ steps there); a much longer trace
+	// would overweight the post-session tail of session-aware policies.
+	alpha := core.HorizonToAlpha(float64(n))
+	initial := core.State{SP: devices.DiskActive}
+	q0 := core.Delta(m.N, sys.Index(initial))
+
+	res := &Result{
+		ID:    "fig8b",
+		Title: "Disk drive: optimal power-performance curve vs simulation vs heuristic policies",
+	}
+	tbl := NewTable("policy", "parameter", "power (W)", "avg queue", "loss", "source")
+
+	// Self-calibration: the always-active policy fixes the floor of
+	// achievable average queue length; the sweep spans from just above it
+	// to 0.5 (a quarter of the queue capacity). The performance constraint
+	// alone already rules out session-exploiting "park asleep forever"
+	// solutions — parking drives the average backlog toward the full queue
+	// — so no auxiliary loss bound is needed, and the heuristic comparison
+	// stays apples-to-apples (the heuristics are not loss-constrained
+	// either).
+	always, err := core.ConstantPolicy(m.N, m.A, devices.DiskGoActive)
+	if err != nil {
+		return nil, err
+	}
+	evAlways, err := core.Evaluate(m, always, q0, alpha)
+	if err != nil {
+		return nil, err
+	}
+	baseOpts := core.Options{
+		Alpha:            alpha,
+		Initial:          q0,
+		Objective:        core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		UnvisitedCommand: devices.DiskGoActive,
+		SkipEvaluation:   true,
+	}
+	penLo := evAlways.Average(core.MetricPenalty) * 1.1
+	penHi := 0.5
+	numPts := pick(cfg, 9, 6)
+	penBounds := make([]float64, numPts)
+	for i := range penBounds {
+		f := float64(i) / float64(numPts-1)
+		penBounds[i] = penLo * math.Pow(penHi/penLo, f)
+	}
+
+	pts, err := core.ParetoSweep(m, baseOpts, core.MetricPenalty, lp.LE, penBounds)
+	if err != nil {
+		return nil, err
+	}
+	simSeed := cfg.Seed + 88
+	for _, p := range pts {
+		if !p.Feasible {
+			tbl.AddRow("optimal", fmt.Sprintf("queue ≤ %.3g", p.BoundValue), "infeasible", "-", "-", "LP")
+			continue
+		}
+		res.AddSeries("optimal", Point{X: p.Averages[core.MetricPenalty], Y: p.Objective, Feasible: true})
+		tbl.AddRow("optimal", fmt.Sprintf("queue ≤ %.3g", p.BoundValue),
+			p.Objective, p.Averages[core.MetricPenalty], p.Averages[core.MetricLoss], "LP")
+
+		// Trace-driven validation (the paper's circles), ensemble-averaged
+		// over controller seeds because the policies are randomized.
+		reps := pick(cfg, 3, 2)
+		var simPower, simPen, simLoss float64
+		for rep := 0; rep < reps; rep++ {
+			ctrl, err := stationaryCtrl(sys, p.Result.Policy, simSeed)
+			if err != nil {
+				return nil, err
+			}
+			st, err := simulateTrace(m, ctrl, initial, simSeed, counts)
+			if err != nil {
+				return nil, err
+			}
+			simPower += st.Averages[core.MetricPower]
+			simPen += st.Averages[core.MetricPenalty]
+			simLoss += st.Averages[core.MetricLoss]
+			simSeed++
+		}
+		simPower /= float64(reps)
+		simPen /= float64(reps)
+		simLoss /= float64(reps)
+		res.AddSeries("simulated", Point{X: simPen, Y: simPower, Feasible: true})
+		tbl.AddRow("optimal(sim)", fmt.Sprintf("queue ≤ %.3g", p.BoundValue),
+			simPower, simPen, simLoss, "trace sim")
+	}
+
+	// Greedy policies: shut down into each inactive state as soon as idle.
+	greedyTargets := []struct {
+		name string
+		cmd  int
+	}{
+		{"idle", devices.DiskGoIdle},
+		{"LPidle", devices.DiskGoLPIdle},
+		{"standby", devices.DiskGoStandby},
+		{"sleep", devices.DiskGoSleep},
+	}
+	for _, g := range greedyTargets {
+		ctrl := &policy.Greedy{WakeCmd: devices.DiskGoActive, SleepCmd: g.cmd}
+		st, err := simulateTrace(m, ctrl, initial, simSeed, counts)
+		if err != nil {
+			return nil, err
+		}
+		res.AddSeries("greedy", Point{X: st.Averages[core.MetricPenalty], Y: st.Averages[core.MetricPower], Feasible: true})
+		tbl.AddRow("greedy", g.name, st.Averages[core.MetricPower], st.Averages[core.MetricPenalty], st.Averages[core.MetricLoss], "trace sim")
+		simSeed++
+	}
+
+	// Timeout policies (the widely used disk spin-down heuristic).
+	timeouts := []struct {
+		name    string
+		cmd     int
+		timeout int64
+	}{
+		{"LPidle/10ms", devices.DiskGoLPIdle, 10},
+		{"LPidle/100ms", devices.DiskGoLPIdle, 100},
+		{"standby/200ms", devices.DiskGoStandby, 200},
+		{"standby/2s", devices.DiskGoStandby, 2000},
+		{"sleep/500ms", devices.DiskGoSleep, 500},
+		{"sleep/5s", devices.DiskGoSleep, 5000},
+	}
+	for _, to := range timeouts {
+		ctrl := &policy.Timeout{WakeCmd: devices.DiskGoActive, SleepCmd: to.cmd, Timeout: to.timeout}
+		st, err := simulateTrace(m, ctrl, initial, simSeed, counts)
+		if err != nil {
+			return nil, err
+		}
+		res.AddSeries("timeout", Point{X: st.Averages[core.MetricPenalty], Y: st.Averages[core.MetricPower], Feasible: true})
+		tbl.AddRow("timeout", to.name, st.Averages[core.MetricPower], st.Averages[core.MetricPenalty], st.Averages[core.MetricLoss], "trace sim")
+		simSeed++
+	}
+
+	// Randomized policies: random (timeout, target) mixes, the heuristic
+	// analogue of the optimizer's randomized policies.
+	randomized := []struct {
+		name    string
+		choices []policy.TimeoutChoice
+	}{
+		{"LPidle10/standby200", []policy.TimeoutChoice{
+			{Timeout: 10, SleepCmd: devices.DiskGoLPIdle},
+			{Timeout: 200, SleepCmd: devices.DiskGoStandby},
+		}},
+		{"LPidle10/sleep2s", []policy.TimeoutChoice{
+			{Timeout: 10, SleepCmd: devices.DiskGoLPIdle},
+			{Timeout: 2000, SleepCmd: devices.DiskGoSleep},
+		}},
+		{"standby200/sleep2s", []policy.TimeoutChoice{
+			{Timeout: 200, SleepCmd: devices.DiskGoStandby},
+			{Timeout: 2000, SleepCmd: devices.DiskGoSleep},
+		}},
+	}
+	for _, rz := range randomized {
+		ctrl := &policy.RandomizedTimeout{WakeCmd: devices.DiskGoActive, Choices: rz.choices, Seed: simSeed}
+		st, err := simulateTrace(m, ctrl, initial, simSeed, counts)
+		if err != nil {
+			return nil, err
+		}
+		res.AddSeries("randomized", Point{X: st.Averages[core.MetricPenalty], Y: st.Averages[core.MetricPower], Feasible: true})
+		tbl.AddRow("randomized", rz.name, st.Averages[core.MetricPower], st.Averages[core.MetricPenalty], st.Averages[core.MetricLoss], "trace sim")
+		simSeed++
+	}
+	res.Table = tbl
+
+	// How close do the simulated optimal points sit to the analytic curve
+	// (model fit), and do any heuristics beat the curve (they should not)?
+	maxDev := 0.0
+	for _, p := range res.Series["simulated"] {
+		want := curveAt(res.Series["optimal"], p.X)
+		if d := p.Y - want; d > maxDev {
+			maxDev = d
+		}
+	}
+	res.Notef("max simulated-above-curve deviation: %s W (paper: circles lie almost perfectly on the curve)", fmtW(maxDev))
+	// Dominance check: heuristics must not beat the optimal tradeoff. The
+	// Pareto curve is convex, so interpolating between sampled points would
+	// overestimate the optimum; instead the LP is re-solved at each
+	// heuristic's own operating point.
+	worst := 0.0
+	for _, name := range []string{"greedy", "timeout", "randomized"} {
+		for _, p := range res.Series[name] {
+			o := baseOpts
+			o.Bounds = append([]core.Bound{}, baseOpts.Bounds...)
+			o.Bounds = append(o.Bounds, core.Bound{Metric: core.MetricPenalty, Rel: lp.LE, Value: math.Max(p.X, penLo)})
+			r, err := core.Optimize(m, o)
+			if err != nil {
+				continue // heuristic operates outside the feasible region
+			}
+			if d := r.Objective - p.Y; d > worst {
+				worst = d
+			}
+		}
+	}
+	res.AddSeries("dominance_margin", Point{X: 0, Y: worst, Feasible: true})
+	res.Notef("max heuristic-below-optimal margin (exact per-point LPs): %s W (≤ ~0 expected: no heuristic beats the optimal tradeoff)", fmtW(worst))
+	return res, nil
+}

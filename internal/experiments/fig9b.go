@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Fig9b reproduces paper Fig. 9(b): the SA-1100 CPU under a Markovian
+// workload — optimal stochastic control (solid curve: minimum power for
+// each bound on the probability of a request arriving while the CPU
+// sleeps) versus the timeout heuristic (dashed curve: power and penalty of
+// timeout policies across timeout values, measured by long model-driven
+// simulation).
+//
+// Expected shape: the optimal curve dominates the timeout curve everywhere;
+// the gap is the power a timeout policy wastes while waiting for its
+// timeout to expire (paper Section VI-C).
+func Fig9b(cfg Config) (*Result, error) {
+	rng := newRNG(cfg, 10)
+	n := pick(cfg, 200000, 50000)
+	// Interactive CPU workload at 50 ms slices: bursts of ~0.5 s separated
+	// by idle gaps of ~2.5 s.
+	counts := trace.OnOff(rng, n, 0.02, 0.10)
+
+	sr, err := trace.ExtractSR("cpu-workload", counts, 1)
+	if err != nil {
+		return nil, err
+	}
+	sys := devices.CPUSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		return nil, err
+	}
+	alpha := core.HorizonToAlpha(pick(cfg, 1e5, 1e4))
+	initial := core.State{SP: devices.CPUActive}
+	q0 := core.Delta(m.N, sys.Index(initial))
+
+	res := &Result{
+		ID:    "fig9b",
+		Title: "SA-1100 CPU: optimal stochastic control vs timeout heuristic (Markovian workload)",
+	}
+	tbl := NewTable("policy", "parameter", "power (W)", "penalty", "source")
+
+	penBounds := pick(cfg,
+		[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08},
+		[]float64{0.002, 0.01, 0.035, 0.08})
+	for _, v := range penBounds {
+		r, err := core.Optimize(m, core.Options{
+			Alpha:          alpha,
+			Initial:        q0,
+			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+			Bounds:         []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: v}},
+			SkipEvaluation: true,
+		})
+		if err != nil {
+			tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", v), "infeasible", "-", "LP")
+			continue
+		}
+		res.AddSeries("optimal", Point{X: r.Averages[core.MetricPenalty], Y: r.Objective, Feasible: true})
+		tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", v), r.Objective, r.Averages[core.MetricPenalty], "LP")
+	}
+
+	// Timeout heuristic, measured by long model-driven simulation.
+	simSlices := int64(pick(cfg, 2000000, 300000))
+	simSeed := cfg.Seed + 77
+	for _, timeout := range pick(cfg,
+		[]int64{0, 1, 2, 5, 10, 20, 50, 100, 200},
+		[]int64{0, 2, 10, 50, 200}) {
+		ctrl := &policy.Timeout{WakeCmd: devices.CPURun, SleepCmd: devices.CPUShutdown, Timeout: timeout}
+		st, err := simulateModel(m, ctrl, initial, simSeed, simSlices)
+		if err != nil {
+			return nil, err
+		}
+		res.AddSeries("timeout", Point{X: st.Averages[core.MetricPenalty], Y: st.Averages[core.MetricPower], Feasible: true})
+		tbl.AddRow("timeout", fmt.Sprintf("T = %d slices", timeout),
+			st.Averages[core.MetricPower], st.Averages[core.MetricPenalty], "model sim")
+		simSeed++
+	}
+	res.Table = tbl
+
+	worst := 0.0
+	for _, p := range res.Series["timeout"] {
+		opt := curveAt(res.Series["optimal"], p.X)
+		if d := opt - p.Y; d > worst {
+			worst = d
+		}
+	}
+	res.Notef("max timeout-below-optimal margin: %s W (≤ ~0 expected: stochastic control dominates, paper Fig. 9(b))", fmtW(worst))
+	return res, nil
+}

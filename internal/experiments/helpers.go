@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// newRNG derives a generator from the config seed and a per-experiment salt
+// so experiments are independent but individually reproducible.
+func newRNG(cfg Config, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed*1000003 + salt))
+}
+
+// pick returns full in full mode and quick in Quick mode.
+func pick[T any](cfg Config, full, quick T) T {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// simulateTrace runs a controller against a trace and returns the stats.
+func simulateTrace(m *core.Model, ctrl policy.Controller, initial core.State, seed int64, counts []int) (*sim.Stats, error) {
+	s, err := sim.New(m, ctrl, sim.Config{Seed: seed, Initial: initial})
+	if err != nil {
+		return nil, err
+	}
+	return s.RunTrace(counts)
+}
+
+// simulateModel runs a controller model-driven for the given horizon.
+func simulateModel(m *core.Model, ctrl policy.Controller, initial core.State, seed int64, slices int64) (*sim.Stats, error) {
+	s, err := sim.New(m, ctrl, sim.Config{Seed: seed, Initial: initial})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(slices)
+}
+
+// simulateSessions runs a controller model-driven under the paper's
+// geometric-session stopping model, the consistent estimator of the
+// optimizer's discounted per-slice averages.
+func simulateSessions(m *core.Model, ctrl policy.Controller, initial core.State, seed int64, alpha float64, sessions int) (*sim.Stats, error) {
+	s, err := sim.New(m, ctrl, sim.Config{Seed: seed, Initial: initial})
+	if err != nil {
+		return nil, err
+	}
+	return s.RunSessions(alpha, sessions)
+}
+
+// stationaryCtrl wraps an optimal policy as a simulator controller.
+func stationaryCtrl(sys *core.System, pol *core.Policy, seed int64) (policy.Controller, error) {
+	return policy.NewStationary(sys, pol, seed)
+}
+
+// curveAt evaluates a Pareto curve (feasible points only) at x by piecewise
+// linear interpolation over X, clamping outside the sampled range. It
+// returns NaN for an empty curve.
+func curveAt(points []Point, x float64) float64 {
+	var feas []Point
+	for _, p := range points {
+		if p.Feasible && !math.IsInf(p.Y, 0) && !math.IsNaN(p.Y) {
+			feas = append(feas, p)
+		}
+	}
+	if len(feas) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(feas, func(i, j int) bool { return feas[i].X < feas[j].X })
+	if x <= feas[0].X {
+		return feas[0].Y
+	}
+	if x >= feas[len(feas)-1].X {
+		return feas[len(feas)-1].Y
+	}
+	for i := 1; i < len(feas); i++ {
+		if x <= feas[i].X {
+			a, b := feas[i-1], feas[i]
+			if b.X == a.X {
+				return math.Min(a.Y, b.Y)
+			}
+			t := (x - a.X) / (b.X - a.X)
+			return a.Y + t*(b.Y-a.Y)
+		}
+	}
+	return feas[len(feas)-1].Y
+}
+
+// fmtW formats a power value.
+func fmtW(v float64) string {
+	if math.IsInf(v, 1) {
+		return "infeasible"
+	}
+	return fmt.Sprintf("%.4f", v)
+}

@@ -1,0 +1,670 @@
+// Package lp provides an exact linear-programming solver used to solve the
+// policy-optimization problems LP2/LP3/LP4 of Benini et al. (TCAD 1999,
+// Appendix A).
+//
+// The paper used PCx, an interior-point research code. Problem instances in
+// this reproduction are small (at most a few hundred variables and rows), so
+// we substitute a dense two-phase primal simplex method. Policy-optimization
+// LPs are numerically stiff — transition probabilities span four orders of
+// magnitude and discount factors reach 1−10⁻⁶ — so the implementation keeps
+// the original standard-form data and periodically refactorizes: every few
+// dozen pivots (and at phase boundaries) the whole tableau is recomputed
+// exactly from the current basis via an LU solve, which eliminates the
+// error accumulation that plain tableau pivoting suffers on such systems.
+// Dantzig pricing is used first with a Bland's-rule fallback that guarantees
+// termination on degenerate instances, and every reported solution is
+// verified against the original constraints (with one stricter retry before
+// giving up with a Numerical status).
+//
+// Problems are stated over nonnegative variables:
+//
+//	min (or max)  c'x
+//	subject to    a_i'x  (<= | = | >=)  b_i     for each constraint i
+//	              x >= 0
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // a'x <= b
+	EQ            // a'x == b
+	GE            // a'x >= b
+)
+
+// String returns the conventional symbol for the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint is one row a'x (Rel) b of a problem.
+type Constraint struct {
+	Name   string
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program over nonnegative variables.
+type Problem struct {
+	Sense Sense
+	// Obj holds the objective coefficients; its length fixes the number of
+	// variables.
+	Obj  []float64
+	Cons []Constraint
+}
+
+// NewProblem returns an empty problem with n variables.
+func NewProblem(sense Sense, n int) *Problem {
+	return &Problem{Sense: sense, Obj: make([]float64, n)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return len(p.Obj) }
+
+// AddConstraint appends a constraint row. It panics if the coefficient
+// vector length does not match the number of variables.
+func (p *Problem) AddConstraint(name string, coeffs []float64, rel Rel, rhs float64) {
+	if len(coeffs) != len(p.Obj) {
+		panic(fmt.Sprintf("lp: constraint %q has %d coeffs, want %d", name, len(coeffs), len(p.Obj)))
+	}
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	p.Cons = append(p.Cons, Constraint{Name: name, Coeffs: c, Rel: rel, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+	Numerical
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration limit"
+	case Numerical:
+		return "numerically unstable"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status     Status
+	X          []float64 // variable values (valid when Status == Optimal)
+	Objective  float64   // c'x in the problem's own sense
+	Activities []float64 // a_i'x per constraint
+	Iterations int
+}
+
+// ErrNotOptimal is wrapped by Solve when the problem has no optimal solution.
+var ErrNotOptimal = errors.New("lp: no optimal solution")
+
+const (
+	costTol  = 1e-9  // reduced-cost optimality tolerance
+	pivotTol = 1e-8  // smallest acceptable pivot magnitude
+	zeroTol  = 1e-11 // clamp for tiny negative basic values
+)
+
+// Solve solves the problem with the two-phase primal simplex method.
+// The returned error is non-nil (wrapping ErrNotOptimal) exactly when the
+// status is not Optimal; callers that distinguish infeasible from unbounded
+// should inspect Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	sol := solveOnce(p, false)
+	if sol.Status == Numerical {
+		// Retry with Bland's rule from the start and aggressive
+		// refactorization; slower but maximally stable.
+		sol = solveOnce(p, true)
+	}
+	if sol.Status != Optimal {
+		return sol, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
+	}
+	// Activities and objective are recomputed from the original data.
+	sol.Activities = make([]float64, len(p.Cons))
+	for i, c := range p.Cons {
+		a := 0.0
+		for j, v := range c.Coeffs {
+			a += v * sol.X[j]
+		}
+		sol.Activities[i] = a
+	}
+	obj := 0.0
+	for j, v := range p.Obj {
+		obj += v * sol.X[j]
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+func solveOnce(p *Problem, conservative bool) *Solution {
+	t, preStatus := newTableau(p, conservative)
+	if preStatus != Optimal {
+		return &Solution{Status: preStatus}
+	}
+	sol := t.solve()
+	if sol.Status != Optimal {
+		return sol
+	}
+	if !t.verify(sol.X) {
+		sol.Status = Numerical
+	}
+	return sol
+}
+
+// tableau is the dense simplex tableau plus the immutable standard-form
+// data it is periodically recomputed from. Column layout:
+//
+//	[0, nv)            structural variables
+//	[nv, nv+ns)        slack/surplus variables
+//	[nv+ns, nTot)      artificial variables (phase 1 only)
+//
+// rows[i] has length nTot+1; the last entry is the current basic value.
+// obj holds the reduced-cost row of the active phase (last entry: negated
+// objective value).
+type tableau struct {
+	nv, ns, na int
+	nTot       int
+	m          int
+
+	origA *mat.Matrix // m × nTot, immutable standard form
+	origB mat.Vector  // length m, >= 0
+	cost1 mat.Vector  // phase-1 costs (1 on artificials)
+	cost2 mat.Vector  // phase-2 costs (minimization form)
+
+	rows  [][]float64
+	obj   []float64
+	basis []int
+
+	iterations   int
+	refreshEvery int
+	blandAlways  bool
+
+	// problem reference for the final feasibility verification
+	prob *Problem
+}
+
+// newTableau builds the phase-1 tableau. It returns a non-Optimal status if
+// trivial presolve detects infeasibility (all-zero row with impossible RHS).
+func newTableau(p *Problem, conservative bool) (*tableau, Status) {
+	nv := p.NumVars()
+
+	type rowSpec struct {
+		coeffs []float64
+		rel    Rel
+		rhs    float64
+	}
+	var specs []rowSpec
+	for _, c := range p.Cons {
+		allZero := true
+		for _, v := range c.Coeffs {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			ok := false
+			switch c.Rel {
+			case LE:
+				ok = c.RHS >= -costTol
+			case GE:
+				ok = c.RHS <= costTol
+			case EQ:
+				ok = math.Abs(c.RHS) <= costTol
+			}
+			if !ok {
+				return nil, Infeasible
+			}
+			continue
+		}
+		specs = append(specs, rowSpec{c.Coeffs, c.Rel, c.RHS})
+	}
+
+	m := len(specs)
+	type norm struct {
+		coeffs []float64
+		rhs    float64
+		slack  int // +1 slack, -1 surplus, 0 none
+		art    bool
+	}
+	normed := make([]norm, m)
+	ns, na := 0, 0
+	for i, s := range specs {
+		coeffs := make([]float64, nv)
+		copy(coeffs, s.coeffs)
+		rhs := s.rhs
+		rel := s.rel
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		n := norm{coeffs: coeffs, rhs: rhs}
+		switch rel {
+		case LE:
+			n.slack = 1
+			ns++
+		case GE:
+			n.slack = -1
+			ns++
+			n.art = true
+			na++
+		case EQ:
+			n.art = true
+			na++
+		}
+		normed[i] = n
+	}
+
+	nTot := nv + ns + na
+	t := &tableau{
+		nv: nv, ns: ns, na: na, nTot: nTot, m: m,
+		origA:        mat.NewMatrix(m, nTot),
+		origB:        mat.NewVector(m),
+		cost1:        mat.NewVector(nTot),
+		cost2:        mat.NewVector(nTot),
+		basis:        make([]int, m),
+		refreshEvery: 40,
+		prob:         p,
+	}
+	if conservative {
+		t.refreshEvery = 8
+		t.blandAlways = true
+	}
+
+	slackCol := nv
+	artCol := nv + ns
+	for i, n := range normed {
+		for j, v := range n.coeffs {
+			t.origA.Set(i, j, v)
+		}
+		t.origB[i] = n.rhs
+		switch {
+		case n.slack == 1 && !n.art:
+			t.origA.Set(i, slackCol, 1)
+			t.basis[i] = slackCol
+			slackCol++
+		case n.slack == -1 && n.art:
+			t.origA.Set(i, slackCol, -1)
+			slackCol++
+			t.origA.Set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		default: // EQ with artificial
+			t.origA.Set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	for j := 0; j < nv; j++ {
+		if p.Sense == Minimize {
+			t.cost2[j] = p.Obj[j]
+		} else {
+			t.cost2[j] = -p.Obj[j]
+		}
+	}
+	for j := nv + ns; j < nTot; j++ {
+		t.cost1[j] = 1
+	}
+
+	t.rows = make([][]float64, m)
+	for i := range t.rows {
+		t.rows[i] = make([]float64, nTot+1)
+	}
+	t.obj = make([]float64, nTot+1)
+	return t, Optimal
+}
+
+// refresh recomputes the whole tableau exactly from the original data and
+// the current basis: rows = B⁻¹[A|b], reduced costs = c − yᵀA with
+// Bᵀy = c_B. Returns false if the basis matrix is singular (the caller then
+// keeps the incrementally-updated tableau).
+func (t *tableau) refresh(cost mat.Vector) bool {
+	b := mat.NewMatrix(t.m, t.m)
+	for i := 0; i < t.m; i++ {
+		for r := 0; r < t.m; r++ {
+			b.Set(r, i, t.origA.At(r, t.basis[i]))
+		}
+	}
+	f, err := mat.Factor(b)
+	if err != nil {
+		return false
+	}
+	// Basic values.
+	xb := f.Solve(t.origB)
+	// Columns: B⁻¹ A, column by column.
+	colBuf := mat.NewVector(t.m)
+	newRows := make([][]float64, t.m)
+	for i := range newRows {
+		newRows[i] = make([]float64, t.nTot+1)
+	}
+	for j := 0; j < t.nTot; j++ {
+		nonzero := false
+		for r := 0; r < t.m; r++ {
+			v := t.origA.At(r, j)
+			colBuf[r] = v
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		sol := f.Solve(colBuf)
+		for r := 0; r < t.m; r++ {
+			newRows[r][j] = sol[r]
+		}
+	}
+	for r := 0; r < t.m; r++ {
+		v := xb[r]
+		if v < 0 && v > -1e-7 {
+			v = 0
+		}
+		newRows[r][t.nTot] = v
+	}
+	// Reduced costs.
+	cb := mat.NewVector(t.m)
+	for i, bi := range t.basis {
+		cb[i] = cost[bi]
+	}
+	bt, err := mat.Factor(b.T())
+	if err != nil {
+		return false
+	}
+	y := bt.Solve(cb)
+	newObj := make([]float64, t.nTot+1)
+	for j := 0; j < t.nTot; j++ {
+		rc := cost[j]
+		for r := 0; r < t.m; r++ {
+			rc -= y[r] * t.origA.At(r, j)
+		}
+		newObj[j] = rc
+	}
+	for i, bi := range t.basis {
+		newObj[bi] = 0
+		_ = i
+	}
+	newObj[t.nTot] = -y.Dot(t.origB)
+	t.rows = newRows
+	t.obj = newObj
+	return true
+}
+
+// pivot performs a pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1
+	for i, r := range t.rows {
+		if i == row {
+			continue
+		}
+		if f := r[col]; f != 0 {
+			for j := range r {
+				r[j] -= f * pr[j]
+			}
+			r[col] = 0
+		}
+	}
+	if f := t.obj[col]; f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * pr[j]
+		}
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+	t.iterations++
+}
+
+// chooseColumn picks the entering column. maxCol bounds the candidates
+// (excludes artificials in phase 2).
+func (t *tableau) chooseColumn(maxCol int, bland bool) int {
+	if bland {
+		for j := 0; j < maxCol; j++ {
+			if t.obj[j] < -costTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -costTol
+	for j := 0; j < maxCol; j++ {
+		if t.obj[j] < bestVal {
+			bestVal = t.obj[j]
+			best = j
+		}
+	}
+	return best
+}
+
+// chooseRow runs the ratio test for entering column col. Ratio comparisons
+// use a relative tolerance; among (near-)ties the largest pivot element
+// wins for stability, except under Bland's rule where the smallest basis
+// index wins to guarantee termination. Returns -1 when the column is
+// unbounded.
+func (t *tableau) chooseRow(col int, bland bool) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	bestPivot := 0.0
+	for i, r := range t.rows {
+		a := r[col]
+		if a <= pivotTol {
+			continue
+		}
+		rhs := r[t.nTot]
+		if rhs < 0 {
+			rhs = 0 // tiny negative from roundoff: treat as degenerate
+		}
+		ratio := rhs / a
+		tol := 1e-9 * (1 + math.Abs(bestRatio))
+		switch {
+		case ratio < bestRatio-tol:
+			bestRow, bestRatio, bestPivot = i, ratio, a
+		case ratio <= bestRatio+tol:
+			if bland {
+				if bestRow == -1 || t.basis[i] < t.basis[bestRow] {
+					bestRow, bestPivot = i, a
+					if ratio < bestRatio {
+						bestRatio = ratio
+					}
+				}
+			} else if a > bestPivot {
+				bestRow, bestPivot = i, a
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+			}
+		}
+	}
+	return bestRow
+}
+
+// runPhase iterates to optimality, unboundedness, or the iteration cap,
+// refactorizing the tableau every refreshEvery pivots.
+func (t *tableau) runPhase(cost mat.Vector, maxCol int) Status {
+	stallAfter := 200 + 20*(t.m+t.nTot)
+	limit := 1000 + 400*(t.m+t.nTot)
+	sinceRefresh := 0
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return IterationLimit
+		}
+		if sinceRefresh >= t.refreshEvery {
+			t.refresh(cost)
+			sinceRefresh = 0
+		}
+		bland := t.blandAlways || iter > stallAfter
+		col := t.chooseColumn(maxCol, bland)
+		if col < 0 {
+			return Optimal
+		}
+		row := t.chooseRow(col, bland)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+		sinceRefresh++
+	}
+}
+
+// solve runs both phases and extracts the solution.
+func (t *tableau) solve() *Solution {
+	sol := &Solution{}
+
+	if t.na > 0 {
+		if !t.refresh(t.cost1) {
+			sol.Status = Numerical
+			return sol
+		}
+		st := t.runPhase(t.cost1, t.nTot)
+		if st == IterationLimit || st == Unbounded {
+			// Phase 1 is never unbounded in exact arithmetic; treat as
+			// numerical trouble.
+			sol.Status = Numerical
+			if st == IterationLimit {
+				sol.Status = IterationLimit
+			}
+			return sol
+		}
+		t.refresh(t.cost1) // exact phase-1 value
+		if phase1 := -t.obj[t.nTot]; phase1 > 1e-7*(1+t.origB.Sum()) {
+			sol.Status = Infeasible
+			sol.Iterations = t.iterations
+			return sol
+		}
+		// Drive any degenerate basic artificials out of the basis.
+		for i, b := range t.basis {
+			if b < t.nv+t.ns {
+				continue
+			}
+			for j := 0; j < t.nv+t.ns; j++ {
+				if math.Abs(t.rows[i][j]) > pivotTol {
+					t.pivot(i, j)
+					break
+				}
+			}
+			// If the entire row is zero over real columns the constraint is
+			// redundant; its artificial stays basic at value zero, harmless
+			// because phase 2 never prices artificial columns.
+		}
+	}
+
+	if !t.refresh(t.cost2) {
+		sol.Status = Numerical
+		return sol
+	}
+	st := t.runPhase(t.cost2, t.nv+t.ns)
+	sol.Iterations = t.iterations
+	if st != Optimal {
+		sol.Status = st
+		return sol
+	}
+	// Final exact recomputation of the solution from the basis.
+	t.refresh(t.cost2)
+	sol.Status = Optimal
+	x := make([]float64, t.nv)
+	for i, b := range t.basis {
+		if b < t.nv {
+			v := t.rows[i][t.nTot]
+			if v < 0 {
+				if v < -1e-7 {
+					sol.Status = Numerical
+					return sol
+				}
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	sol.X = x
+	return sol
+}
+
+// verify checks the candidate solution against the original problem with a
+// scale-relative tolerance.
+func (t *tableau) verify(x []float64) bool {
+	for _, v := range x {
+		if v < -1e-7 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, c := range t.prob.Cons {
+		a := 0.0
+		scale := math.Abs(c.RHS)
+		for j, v := range c.Coeffs {
+			a += v * x[j]
+			if s := math.Abs(v * x[j]); s > scale {
+				scale = s
+			}
+		}
+		tol := 1e-6 * (1 + scale)
+		switch c.Rel {
+		case LE:
+			if a > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if a < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(a-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+// Package markov implements the discrete-time Markov-chain machinery that
+// the DPM stochastic model of Benini et al. is built on: state-distribution
+// evolution, stationary distributions, discounted total costs (the value
+// vectors of Appendix A), discounted occupancy measures (state frequencies),
+// and expected hitting times (used to verify device models against
+// data-sheet transition times, Table I).
+//
+// Chains are represented by dense row-stochastic matrices from internal/mat;
+// state spaces in this reproduction stay well under a thousand states, so
+// dense solves are exact and fast.
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Chain is a stationary discrete-time Markov chain over states 0..N-1.
+type Chain struct {
+	p *mat.Matrix
+}
+
+// New validates that p is square and row-stochastic (within tol; pass 0 for
+// the default) and wraps it in a Chain. The matrix is not copied; callers
+// must not mutate it afterwards.
+func New(p *mat.Matrix, tol float64) (*Chain, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("markov: transition matrix is %dx%d, want square", p.Rows, p.Cols)
+	}
+	if err := p.CheckStochastic(tol); err != nil {
+		return nil, fmt.Errorf("markov: %w", err)
+	}
+	return &Chain{p: p}, nil
+}
+
+// MustNew is New but panics on error; for use with matrices constructed by
+// code that guarantees stochasticity.
+func MustNew(p *mat.Matrix, tol float64) *Chain {
+	c, err := New(p, tol)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.p.Rows }
+
+// P returns the transition matrix. Callers must not mutate it.
+func (c *Chain) P() *mat.Matrix { return c.p }
+
+// Step returns the distribution after one step: dist * P.
+func (c *Chain) Step(dist mat.Vector) mat.Vector {
+	return c.p.VecMul(dist)
+}
+
+// Evolve returns the distribution after k steps.
+func (c *Chain) Evolve(dist mat.Vector, k int) mat.Vector {
+	d := dist.Clone()
+	for i := 0; i < k; i++ {
+		d = c.Step(d)
+	}
+	return d
+}
+
+// Stationary returns a stationary distribution π with π = πP and Σπ = 1,
+// computed by replacing one balance equation with the normalization row.
+// For an irreducible chain this is the unique stationary distribution; for
+// a reducible chain it returns one stationary distribution (or ErrSingular
+// from the solver if the replacement system happens to be singular).
+func (c *Chain) Stationary() (mat.Vector, error) {
+	n := c.N()
+	if n == 0 {
+		return nil, fmt.Errorf("markov: empty chain")
+	}
+	// Build A = Pᵀ - I, then overwrite the last row with 1s (normalization).
+	a := c.p.T()
+	for i := 0; i < n; i++ {
+		a.Add(i, i, -1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := mat.NewVector(n)
+	b[n-1] = 1
+	pi, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve: %w", err)
+	}
+	// Clean tiny negatives from roundoff.
+	for i, v := range pi {
+		if v < 0 && v > -1e-10 {
+			pi[i] = 0
+		}
+	}
+	return pi, nil
+}
+
+// DiscountedValue returns v = Σ_{t≥0} αᵗ Pᵗ cost, the total expected
+// discounted cost from each starting state, by solving (I − αP) v = cost.
+// This is the value vector of the optimality equations in Appendix A.
+// It requires 0 <= α < 1.
+func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("markov: discount factor %g outside [0,1)", alpha)
+	}
+	if len(cost) != c.N() {
+		return nil, fmt.Errorf("markov: cost vector length %d, want %d", len(cost), c.N())
+	}
+	a := c.p.Clone().Scale(-alpha)
+	for i := 0; i < c.N(); i++ {
+		a.Add(i, i, 1)
+	}
+	v, err := mat.Solve(a, cost)
+	if err != nil {
+		return nil, fmt.Errorf("markov: discounted value solve: %w", err)
+	}
+	return v, nil
+}
+
+// DiscountedOccupancy returns the normalized discounted occupancy measure
+//
+//	y = (1−α) Σ_{t≥0} αᵗ q0 Pᵗ,
+//
+// i.e. y_j is the discounted fraction of time spent in state j starting from
+// distribution q0. It solves (I − αPᵀ) yᵀ = (1−α) q0ᵀ. Σy = 1 whenever
+// Σq0 = 1. These are the (scaled) state frequencies of LP2.
+func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("markov: discount factor %g outside [0,1)", alpha)
+	}
+	if len(q0) != c.N() {
+		return nil, fmt.Errorf("markov: initial distribution length %d, want %d", len(q0), c.N())
+	}
+	a := c.p.T().Scale(-alpha)
+	for i := 0; i < c.N(); i++ {
+		a.Add(i, i, 1)
+	}
+	rhs := q0.Clone().Scale(1 - alpha)
+	y, err := mat.Solve(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("markov: occupancy solve: %w", err)
+	}
+	for i, v := range y {
+		if v < 0 && v > -1e-10 {
+			y[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// ExpectedHittingTimes returns h where h_i is the expected number of steps
+// to first reach any state in targets, starting from state i (h_i = 0 for
+// targets). It solves h_i = 1 + Σ_j P_ij h_j over non-target states. An
+// error is returned if some state cannot reach the target set (the linear
+// system is then singular or produces non-finite values).
+func (c *Chain) ExpectedHittingTimes(targets map[int]bool) (mat.Vector, error) {
+	n := c.N()
+	var free []int // non-target states, in order
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if !targets[i] {
+			idx[i] = len(free)
+			free = append(free, i)
+		}
+	}
+	h := mat.NewVector(n)
+	if len(free) == 0 {
+		return h, nil
+	}
+	m := len(free)
+	a := mat.NewMatrix(m, m)
+	b := mat.NewVector(m)
+	for r, i := range free {
+		b[r] = 1
+		for j := 0; j < n; j++ {
+			p := c.p.At(i, j)
+			if p == 0 {
+				continue
+			}
+			if k := idx[j]; k >= 0 {
+				a.Add(r, k, -p)
+			}
+		}
+		a.Add(r, r, 1)
+	}
+	sol, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: hitting-time solve (target unreachable?): %w", err)
+	}
+	for r, i := range free {
+		if sol[r] < 0 {
+			return nil, fmt.Errorf("markov: negative hitting time %g for state %d", sol[r], i)
+		}
+		h[i] = sol[r]
+	}
+	return h, nil
+}
+
+// GeometricMeanTime returns the expected number of slices for a transition
+// governed by a geometric distribution with per-slice success probability p
+// (paper Eq. 2: E[T] = 1/p). It panics if p is outside (0, 1].
+func GeometricMeanTime(p float64) float64 {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("markov: geometric probability %g outside (0,1]", p))
+	}
+	return 1 / p
+}

@@ -1,0 +1,115 @@
+package mat
+
+import "math"
+
+// LU holds the LU factorization (with partial pivoting) of a square matrix,
+// ready to solve linear systems for multiple right-hand sides.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of square matrix a with partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero or smaller in
+// magnitude than tiny (1e-14 times the largest row scale).
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("mat: Factor requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+
+	// Row scales for a relative singularity threshold.
+	scale := 0.0
+	for _, x := range lu.Data {
+		if v := math.Abs(x); v > scale {
+			scale = v
+		}
+	}
+	tiny := 1e-14 * scale
+	if tiny == 0 {
+		tiny = 1e-300
+	}
+
+	for k := 0; k < n; k++ {
+		// Find pivot in column k.
+		p, best := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > best {
+				best, p = v, i
+			}
+		}
+		if best < tiny {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivVal
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b using the factorization. b is not modified.
+func (f *LU) Solve(b Vector) Vector {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("mat: LU.Solve dimension mismatch")
+	}
+	x := NewVector(n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x
+}
+
+// Solve solves the square linear system A x = b.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveT solves the transposed system Aᵀ x = b without forming Aᵀ explicitly
+// as a separate factorization (it transposes and factors; systems here are
+// small, so clarity wins over cleverness).
+func SolveT(a *Matrix, b Vector) (Vector, error) {
+	return Solve(a.T(), b)
+}

@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Adaptive is the paper's closing future-work direction (Section VIII):
+// an adaptive power manager for non-stationary workloads. It observes
+// arrivals online, periodically re-extracts the k-memory SR model from a
+// sliding window, re-solves the policy-optimization LP against the updated
+// model, and executes the refreshed optimal policy. Until the first window
+// fills it delegates to a fallback controller.
+type Adaptive struct {
+	// Rebuild constructs the system for a freshly extracted workload model
+	// (typically devices.BaselineSystemWithSR or a closure around the
+	// device under management). The SP and queue structure must not change
+	// across rebuilds.
+	Rebuild func(sr *core.ServiceRequester) (*core.System, error)
+	// Opts are the optimization settings reused at every refresh; Initial
+	// is ignored (the uniform distribution is used — the controller has no
+	// reason to privilege a state mid-stream).
+	Opts core.Options
+	// Window is the number of most recent slices the SR model is extracted
+	// from.
+	Window int
+	// Period is the number of slices between re-optimizations.
+	Period int
+	// Memory is the extractor history length k.
+	Memory int
+	// Fallback issues commands until the first model is ready, and whenever
+	// re-optimization fails (e.g. an infeasible window).
+	Fallback Controller
+	// Seed makes the stationary-policy sampling reproducible.
+	Seed int64
+
+	buf     []int
+	filled  bool
+	pos     int
+	sinceRe int
+	srState func(int) int
+	current *Stationary
+	sys     *core.System
+}
+
+// Reset implements Controller. It clears the observation window and the
+// current policy (a new session may have a new workload).
+func (a *Adaptive) Reset() {
+	a.buf = nil
+	a.filled = false
+	a.pos = 0
+	a.sinceRe = 0
+	a.current = nil
+	a.srState = nil
+	if a.Fallback != nil {
+		a.Fallback.Reset()
+	}
+}
+
+// Command implements Controller.
+func (a *Adaptive) Command(obs Observation) int {
+	if a.Window <= 0 || a.Period <= 0 || a.Memory <= 0 || a.Rebuild == nil || a.Fallback == nil {
+		panic("policy: Adaptive needs Rebuild, Fallback, positive Window, Period and Memory")
+	}
+	if a.buf == nil {
+		a.buf = make([]int, a.Window)
+		a.srState = trace.BinaryHistoryMapper(a.Memory)
+	}
+	// Record the observation and track our own SR state (the simulator's
+	// obs.SR indexes the *original* model; ours indexes the re-extracted
+	// one).
+	a.buf[a.pos] = obs.Requests
+	a.pos = (a.pos + 1) % a.Window
+	if a.pos == 0 {
+		a.filled = true
+	}
+	sr := a.srState(obs.Requests)
+	a.sinceRe++
+
+	if a.filled && (a.current == nil || a.sinceRe >= a.Period) {
+		a.refresh()
+		a.sinceRe = 0
+	}
+	if a.current == nil {
+		return a.Fallback.Command(obs)
+	}
+	return a.current.Command(Observation{SP: obs.SP, SR: sr, Queue: obs.Queue, Requests: obs.Requests, Time: obs.Time})
+}
+
+// refresh re-extracts the workload model from the window and re-optimizes;
+// failures leave the previous policy in place.
+func (a *Adaptive) refresh() {
+	window := make([]int, 0, a.Window)
+	window = append(window, a.buf[a.pos:]...)
+	window = append(window, a.buf[:a.pos]...)
+	sr, err := trace.ExtractSR("adaptive-window", window, a.Memory)
+	if err != nil {
+		return
+	}
+	sys, err := a.Rebuild(sr)
+	if err != nil {
+		return
+	}
+	m, err := sys.Build()
+	if err != nil {
+		return
+	}
+	opts := a.Opts
+	opts.Initial = core.Uniform(m.N)
+	opts.SkipEvaluation = true
+	res, err := core.Optimize(m, opts)
+	if err != nil {
+		return
+	}
+	ctrl, err := NewStationary(sys, res.Policy, a.Seed)
+	if err != nil {
+		return
+	}
+	a.current = ctrl
+	a.sys = sys
+}
+
+// CurrentSystem returns the system of the most recent successful refresh
+// (nil before the first), for diagnostics.
+func (a *Adaptive) CurrentSystem() *core.System { return a.sys }
+
+var _ Controller = (*Adaptive)(nil)
+
+// String identifies the controller in logs.
+func (a *Adaptive) String() string {
+	return fmt.Sprintf("adaptive(window=%d, period=%d, memory=%d)", a.Window, a.Period, a.Memory)
+}

@@ -1,0 +1,235 @@
+// Package policy provides power-manager controllers for simulation: the
+// heuristic policies the paper compares against (Section VI: greedy/eager
+// shutdown, timeout policies, randomized timeout policies — the policies of
+// refs [12],[14],[15]) and an adapter that executes the optimal Markov
+// stationary randomized policies produced by internal/core.
+//
+// A Controller is the operational form of a power manager: once per time
+// slice it observes the system and issues a command. Unlike the Markov
+// stationary policies of the optimizer, controllers may keep internal state
+// (timeout counters), which is exactly what lets them represent the
+// history-dependent heuristics of the prior work the paper evaluates.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Observation is what a power manager sees at the start of a time slice.
+type Observation struct {
+	// SP is the current service-provider state index.
+	SP int
+	// SR is the current service-requester state index (model-driven
+	// simulation) or a quantized arrival level (trace-driven simulation).
+	SR int
+	// Queue is the current backlog.
+	Queue int
+	// Requests is the number of requests the SR issues this slice.
+	Requests int
+	// Time is the slice index within the current session.
+	Time int64
+}
+
+// Idle reports whether the slice carries no work: no incoming requests and
+// an empty queue.
+func (o Observation) Idle() bool { return o.Requests == 0 && o.Queue == 0 }
+
+// Controller issues one command per time slice.
+type Controller interface {
+	// Reset returns the controller to its initial internal state (called at
+	// the start of every simulated session).
+	Reset()
+	// Command returns the command index to issue for this observation.
+	Command(obs Observation) int
+}
+
+// Constant issues the same command forever (the paper's trivial constant
+// policy, Example 3.4). Its zero value issues command 0.
+type Constant struct {
+	Cmd int
+}
+
+// Reset implements Controller.
+func (c *Constant) Reset() {}
+
+// Command implements Controller.
+func (c *Constant) Command(Observation) int { return c.Cmd }
+
+// Greedy is the eager policy of the paper's introduction: it issues
+// SleepCmd as soon as the system is idle and WakeCmd as soon as work
+// appears (a pending request or a nonempty queue).
+type Greedy struct {
+	// WakeCmd is issued whenever there is work.
+	WakeCmd int
+	// SleepCmd is issued whenever the system is idle.
+	SleepCmd int
+}
+
+// Reset implements Controller.
+func (g *Greedy) Reset() {}
+
+// Command implements Controller.
+func (g *Greedy) Command(obs Observation) int {
+	if obs.Idle() {
+		return g.SleepCmd
+	}
+	return g.WakeCmd
+}
+
+// Timeout is the classic timeout heuristic used for disk spin-down
+// (paper refs [12],[13]): after the system has been continuously idle for
+// more than Timeout slices it issues SleepCmd; any work wakes it
+// immediately.
+type Timeout struct {
+	// WakeCmd is issued whenever there is work, and during the timeout
+	// window while idle.
+	WakeCmd int
+	// SleepCmd is issued once the idle time exceeds Timeout.
+	SleepCmd int
+	// Timeout is the idle-slice threshold; 0 reproduces Greedy.
+	Timeout int64
+
+	idle int64
+}
+
+// Reset implements Controller.
+func (tp *Timeout) Reset() { tp.idle = 0 }
+
+// Command implements Controller.
+func (tp *Timeout) Command(obs Observation) int {
+	if !obs.Idle() {
+		tp.idle = 0
+		return tp.WakeCmd
+	}
+	tp.idle++
+	if tp.idle > tp.Timeout {
+		return tp.SleepCmd
+	}
+	return tp.WakeCmd
+}
+
+// RandomizedTimeout draws a fresh (timeout, sleep command) pair at the start
+// of each idle period — the "heuristic version of the optimal randomized
+// policies" plotted as boxes in the paper's Fig. 8(b).
+type RandomizedTimeout struct {
+	// WakeCmd is issued whenever there is work.
+	WakeCmd int
+	// Choices are the candidate (timeout, sleep command) pairs.
+	Choices []TimeoutChoice
+	// Weights are the selection probabilities (normalized internally);
+	// nil selects uniformly.
+	Weights []float64
+	// Seed seeds the internal generator; the sequence restarts on Reset so
+	// runs are reproducible.
+	Seed int64
+
+	rng     *rand.Rand
+	idle    int64
+	current TimeoutChoice
+}
+
+// TimeoutChoice is one candidate behaviour of a RandomizedTimeout.
+type TimeoutChoice struct {
+	Timeout  int64
+	SleepCmd int
+}
+
+// Reset implements Controller. It clears the idle counter but keeps the
+// random stream flowing: reseeding per session would make every session
+// replay the same choice sequence, biasing multi-session statistics.
+func (rt *RandomizedTimeout) Reset() {
+	if rt.rng == nil {
+		rt.rng = rand.New(rand.NewSource(rt.Seed))
+	}
+	rt.idle = 0
+	rt.current = TimeoutChoice{}
+}
+
+// Command implements Controller.
+func (rt *RandomizedTimeout) Command(obs Observation) int {
+	if rt.rng == nil {
+		rt.Reset()
+	}
+	if !obs.Idle() {
+		rt.idle = 0
+		return rt.WakeCmd
+	}
+	rt.idle++
+	if rt.idle == 1 {
+		rt.current = rt.pick()
+	}
+	if rt.idle > rt.current.Timeout {
+		return rt.current.SleepCmd
+	}
+	return rt.WakeCmd
+}
+
+func (rt *RandomizedTimeout) pick() TimeoutChoice {
+	if len(rt.Choices) == 0 {
+		panic("policy: RandomizedTimeout with no choices")
+	}
+	if rt.Weights == nil {
+		return rt.Choices[rt.rng.Intn(len(rt.Choices))]
+	}
+	total := 0.0
+	for _, w := range rt.Weights {
+		total += w
+	}
+	u := rt.rng.Float64() * total
+	for i, w := range rt.Weights {
+		u -= w
+		if u <= 0 {
+			return rt.Choices[i]
+		}
+	}
+	return rt.Choices[len(rt.Choices)-1]
+}
+
+// Stationary executes a (possibly randomized) Markov stationary policy from
+// the optimizer: each slice it looks up the composed system state and
+// samples a command from the policy's distribution.
+type Stationary struct {
+	sys  *core.System
+	pol  *core.Policy
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewStationary builds a controller for policy pol on system sys. The seed
+// makes command sampling reproducible across controller constructions; a
+// Markov stationary policy has no per-session state, so Reset does not
+// restart the stream (doing so would correlate sessions and bias
+// multi-session statistics toward the first draws of the seed).
+func NewStationary(sys *core.System, pol *core.Policy, seed int64) (*Stationary, error) {
+	if pol.N() != sys.NumStates() || pol.A() != sys.SP.A() {
+		return nil, fmt.Errorf("policy: policy is %dx%d, system wants %dx%d",
+			pol.N(), pol.A(), sys.NumStates(), sys.SP.A())
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stationary{sys: sys, pol: pol, seed: seed}
+	s.rng = rand.New(rand.NewSource(seed))
+	return s, nil
+}
+
+// Reset implements Controller (a no-op: stationary policies are memoryless
+// and the sampling stream must continue across sessions).
+func (s *Stationary) Reset() {}
+
+// Command implements Controller.
+func (s *Stationary) Command(obs Observation) int {
+	idx := s.sys.Index(core.State{SP: obs.SP, SR: obs.SR, Q: obs.Queue})
+	dist := s.pol.CommandDist(idx)
+	u := s.rng.Float64()
+	for a, p := range dist {
+		u -= p
+		if u <= 0 {
+			return a
+		}
+	}
+	return len(dist) - 1
+}

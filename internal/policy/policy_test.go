@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+func TestConstant(t *testing.T) {
+	c := &Constant{Cmd: 3}
+	c.Reset()
+	if got := c.Command(Observation{Requests: 5}); got != 3 {
+		t.Errorf("Command = %d, want 3", got)
+	}
+}
+
+func TestObservationIdle(t *testing.T) {
+	if !(Observation{}).Idle() {
+		t.Errorf("empty observation not idle")
+	}
+	if (Observation{Requests: 1}).Idle() {
+		t.Errorf("observation with requests is idle")
+	}
+	if (Observation{Queue: 1}).Idle() {
+		t.Errorf("observation with backlog is idle")
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	g := &Greedy{WakeCmd: 0, SleepCmd: 1}
+	g.Reset()
+	if got := g.Command(Observation{}); got != 1 {
+		t.Errorf("idle → %d, want sleep", got)
+	}
+	if got := g.Command(Observation{Requests: 1}); got != 0 {
+		t.Errorf("busy → %d, want wake", got)
+	}
+	if got := g.Command(Observation{Queue: 2}); got != 0 {
+		t.Errorf("backlog → %d, want wake", got)
+	}
+}
+
+func TestTimeoutWindow(t *testing.T) {
+	tp := &Timeout{WakeCmd: 0, SleepCmd: 1, Timeout: 3}
+	tp.Reset()
+	// Busy slice resets the counter.
+	if got := tp.Command(Observation{Requests: 1}); got != 0 {
+		t.Fatalf("busy → %d", got)
+	}
+	// Three idle slices stay awake; the fourth sleeps.
+	for i := 0; i < 3; i++ {
+		if got := tp.Command(Observation{}); got != 0 {
+			t.Fatalf("idle slice %d → %d, want wake", i+1, got)
+		}
+	}
+	if got := tp.Command(Observation{}); got != 1 {
+		t.Errorf("idle slice 4 → %d, want sleep", got)
+	}
+	// Continued idleness keeps sleeping.
+	if got := tp.Command(Observation{}); got != 1 {
+		t.Errorf("idle slice 5 → %d, want sleep", got)
+	}
+	// Work wakes immediately and resets.
+	if got := tp.Command(Observation{Queue: 1}); got != 0 {
+		t.Errorf("work → %d, want wake", got)
+	}
+	if got := tp.Command(Observation{}); got != 0 {
+		t.Errorf("first idle after reset → %d, want wake", got)
+	}
+}
+
+func TestTimeoutZeroIsGreedy(t *testing.T) {
+	tp := &Timeout{WakeCmd: 0, SleepCmd: 1, Timeout: 0}
+	g := &Greedy{WakeCmd: 0, SleepCmd: 1}
+	tp.Reset()
+	g.Reset()
+	obs := []Observation{{Requests: 1}, {}, {}, {Queue: 1}, {}}
+	for i, o := range obs {
+		if tp.Command(o) != g.Command(o) {
+			t.Errorf("slice %d: timeout-0 differs from greedy", i)
+		}
+	}
+}
+
+func TestRandomizedTimeoutDeterministicChoice(t *testing.T) {
+	rt := &RandomizedTimeout{
+		WakeCmd: 0,
+		Choices: []TimeoutChoice{{Timeout: 2, SleepCmd: 1}},
+		Seed:    1,
+	}
+	rt.Reset()
+	if got := rt.Command(Observation{Requests: 1}); got != 0 {
+		t.Fatalf("busy → %d", got)
+	}
+	if got := rt.Command(Observation{}); got != 0 {
+		t.Errorf("idle 1 → %d, want wake (within timeout)", got)
+	}
+	if got := rt.Command(Observation{}); got != 0 {
+		t.Errorf("idle 2 → %d, want wake", got)
+	}
+	if got := rt.Command(Observation{}); got != 1 {
+		t.Errorf("idle 3 → %d, want sleep", got)
+	}
+}
+
+func TestRandomizedTimeoutWeights(t *testing.T) {
+	// With all weight on the second choice, it must always be picked.
+	rt := &RandomizedTimeout{
+		WakeCmd: 0,
+		Choices: []TimeoutChoice{{Timeout: 100, SleepCmd: 1}, {Timeout: 0, SleepCmd: 2}},
+		Weights: []float64{0, 1},
+		Seed:    7,
+	}
+	rt.Reset()
+	rt.Command(Observation{Requests: 1})
+	if got := rt.Command(Observation{}); got != 2 {
+		t.Errorf("weighted pick → %d, want 2", got)
+	}
+}
+
+func TestRandomizedTimeoutResamplesPerIdlePeriod(t *testing.T) {
+	rt := &RandomizedTimeout{
+		WakeCmd: 0,
+		Choices: []TimeoutChoice{{Timeout: 0, SleepCmd: 1}, {Timeout: 0, SleepCmd: 2}},
+		Seed:    42,
+	}
+	rt.Reset()
+	seen := map[int]bool{}
+	for period := 0; period < 200; period++ {
+		rt.Command(Observation{Requests: 1}) // end idle period
+		seen[rt.Command(Observation{})] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("choices not resampled across idle periods: %v", seen)
+	}
+}
+
+func TestRandomizedTimeoutNoChoicesPanics(t *testing.T) {
+	rt := &RandomizedTimeout{WakeCmd: 0}
+	rt.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic with empty choices")
+		}
+	}()
+	rt.Command(Observation{})
+}
+
+func testSystem() *core.System {
+	sp := &core.ServiceProvider{
+		Name:     "sp",
+		States:   []string{"on", "off"},
+		Commands: []string{"s_on", "s_off"},
+		P: []*mat.Matrix{
+			mat.FromRows([][]float64{{1, 0}, {0.5, 0.5}}),
+			mat.FromRows([][]float64{{0.5, 0.5}, {0, 1}}),
+		},
+		ServiceRate: mat.FromRows([][]float64{{1, 0}, {0, 0}}),
+		Power:       mat.FromRows([][]float64{{2, 3}, {3, 0}}),
+	}
+	return &core.System{Name: "test", SP: sp, SR: core.TwoStateSR("sr", 0.5, 0.5), QueueCap: 1}
+}
+
+func TestStationarySamplesDistribution(t *testing.T) {
+	sys := testSystem()
+	n := sys.NumStates()
+	pm := mat.NewMatrix(n, 2)
+	for s := 0; s < n; s++ {
+		pm.Set(s, 0, 0.3)
+		pm.Set(s, 1, 0.7)
+	}
+	pol, err := core.NewPolicy(pm)
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	ctrl, err := NewStationary(sys, pol, 11)
+	if err != nil {
+		t.Fatalf("NewStationary: %v", err)
+	}
+	counts := [2]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[ctrl.Command(Observation{SP: 0, SR: 1, Queue: 0})]++
+	}
+	frac := float64(counts[1]) / trials
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("command 1 frequency = %g, want ≈0.7", frac)
+	}
+	// Two controllers with the same seed replay the same stream; Reset on
+	// one of them must NOT rewind it (sessions would otherwise correlate).
+	a, _ := NewStationary(sys, pol, 123)
+	b, _ := NewStationary(sys, pol, 123)
+	obs := Observation{SP: 0, SR: 1, Queue: 0}
+	first := a.Command(obs)
+	if got := b.Command(obs); got != first {
+		t.Errorf("same-seed controllers diverged: %d vs %d", got, first)
+	}
+	second := a.Command(obs)
+	b.Reset()
+	if got := b.Command(obs); got != second {
+		t.Errorf("Reset rewound the stream: %d vs %d", got, second)
+	}
+}
+
+func TestStationaryDeterministicLookup(t *testing.T) {
+	sys := testSystem()
+	n := sys.NumStates()
+	cmds := make([]int, n)
+	target := sys.Index(core.State{SP: 1, SR: 0, Q: 1})
+	cmds[target] = 1
+	pol, _ := core.DeterministicPolicy(cmds, 2)
+	ctrl, err := NewStationary(sys, pol, 0)
+	if err != nil {
+		t.Fatalf("NewStationary: %v", err)
+	}
+	if got := ctrl.Command(Observation{SP: 1, SR: 0, Queue: 1}); got != 1 {
+		t.Errorf("lookup at target state = %d, want 1", got)
+	}
+	if got := ctrl.Command(Observation{SP: 0, SR: 0, Queue: 0}); got != 0 {
+		t.Errorf("lookup elsewhere = %d, want 0", got)
+	}
+}
+
+func TestStationaryDimensionCheck(t *testing.T) {
+	sys := testSystem()
+	pol, _ := core.ConstantPolicy(3, 2, 0) // wrong state count
+	if _, err := NewStationary(sys, pol, 0); err == nil {
+		t.Errorf("mismatched policy accepted")
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math/rand"
+
+// newTestRand returns a seeded generator for test fixtures.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,344 @@
+// Package sim is the simulation engine of the paper's policy-optimization
+// tool (Section V, Fig. 7): a slotted-time stochastic simulator that runs a
+// power-manager controller against either the Markov system model
+// (model-driven mode, used to cross-check the optimizer's expected power and
+// performance) or a recorded request trace (trace-driven mode, used to judge
+// how well the Markov workload model represents reality — the circles of
+// Figs. 8(b) and 9(a)).
+//
+// Metric accounting matches the optimizer's semantics exactly: at each slice
+// the metrics of the current (state, command) pair accumulate, then the
+// components advance — the SP row of the current state under the issued
+// command, the SR chain, and the queue law of Eq. 3 driven by the service
+// rate of the current SP state and the arrivals of the destination SR state.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// Config configures a Simulator.
+type Config struct {
+	// Seed seeds the simulation RNG (state sampling); controller sampling
+	// uses the controller's own generator.
+	Seed int64
+	// Initial is the initial composed state of every run or session.
+	Initial core.State
+	// SRStateOf maps an arrival count to an SR state index for trace-driven
+	// runs (the controller and the SP-coupling hook observe SR state, which
+	// a trace does not carry). Nil maps count k to state min(k, |S_r|−1),
+	// which is exact for the two-state requesters used throughout the paper.
+	SRStateOf func(arrivals int) int
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	// Slices is the number of simulated time slices.
+	Slices int64
+	// Sessions is the number of sessions aggregated (1 for fixed-horizon
+	// runs).
+	Sessions int
+	// Averages maps each model metric to its per-slice average — directly
+	// comparable with the optimizer's Result.Averages and with
+	// core.Evaluation.Averages.
+	Averages map[string]float64
+	// Arrived, Serviced and Lost count individual requests. Lost counts
+	// actual dropped requests (arrivals beyond capacity), which is related
+	// to but distinct from the loss-indicator average in Averages.
+	Arrived, Serviced, Lost int64
+	// AvgWait is the mean waiting time, in slices, of serviced requests
+	// (0 when none were serviced).
+	AvgWait float64
+	// CommandCounts tallies issued commands.
+	CommandCounts []int64
+	// Occupancy is the fraction of slices spent in each composed state.
+	Occupancy []float64
+}
+
+// Throughput returns serviced requests per slice.
+func (s *Stats) Throughput() float64 {
+	if s.Slices == 0 {
+		return 0
+	}
+	return float64(s.Serviced) / float64(s.Slices)
+}
+
+// LossFraction returns the fraction of arrived requests that were dropped.
+func (s *Stats) LossFraction() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Arrived)
+}
+
+// Simulator runs a controller against a compiled system model.
+type Simulator struct {
+	model *core.Model
+	ctrl  policy.Controller
+	cfg   Config
+	rng   *rand.Rand
+}
+
+// New builds a simulator for the compiled model m driven by ctrl.
+func New(m *core.Model, ctrl policy.Controller, cfg Config) (*Simulator, error) {
+	sys := m.Sys
+	if cfg.Initial.SP < 0 || cfg.Initial.SP >= sys.SP.N() ||
+		cfg.Initial.SR < 0 || cfg.Initial.SR >= sys.SR.N() ||
+		cfg.Initial.Q < 0 || cfg.Initial.Q > sys.QueueCap {
+		return nil, fmt.Errorf("sim: initial state %+v out of range", cfg.Initial)
+	}
+	if cfg.SRStateOf == nil {
+		maxSR := sys.SR.N() - 1
+		cfg.SRStateOf = func(arrivals int) int {
+			if arrivals > maxSR {
+				return maxSR
+			}
+			return arrivals
+		}
+	}
+	return &Simulator{
+		model: m,
+		ctrl:  ctrl,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// run is the common loop. nextArrivals returns the arrival count of slice
+// t+1 and the corresponding SR state, or done=true to stop.
+type arrivalSource func(t int64) (arrivals int, srState int, done bool)
+
+// accumulator tracks running sums for one or more sessions.
+type accumulator struct {
+	slices     int64
+	metricSums map[string]float64
+	arrived    int64
+	serviced   int64
+	lost       int64
+	waitSum    int64
+	cmdCounts  []int64
+	occupancy  []int64
+}
+
+func newAccumulator(m *core.Model) *accumulator {
+	sums := make(map[string]float64, len(m.Metrics))
+	for name := range m.Metrics {
+		sums[name] = 0
+	}
+	return &accumulator{
+		metricSums: sums,
+		cmdCounts:  make([]int64, m.A),
+		occupancy:  make([]int64, m.N),
+	}
+}
+
+func (ac *accumulator) stats(sessions int) *Stats {
+	st := &Stats{
+		Slices:        ac.slices,
+		Sessions:      sessions,
+		Averages:      make(map[string]float64, len(ac.metricSums)),
+		Arrived:       ac.arrived,
+		Serviced:      ac.serviced,
+		Lost:          ac.lost,
+		CommandCounts: ac.cmdCounts,
+		Occupancy:     make([]float64, len(ac.occupancy)),
+	}
+	if ac.slices > 0 {
+		for name, sum := range ac.metricSums {
+			st.Averages[name] = sum / float64(ac.slices)
+		}
+		for i, c := range ac.occupancy {
+			st.Occupancy[i] = float64(c) / float64(ac.slices)
+		}
+	}
+	if ac.serviced > 0 {
+		st.AvgWait = float64(ac.waitSum) / float64(ac.serviced)
+	}
+	return st
+}
+
+// session simulates one session: from the initial state until src reports
+// done. The queue is tracked as a FIFO of arrival timestamps so waiting
+// times are exact.
+func (s *Simulator) session(ac *accumulator, src arrivalSource) {
+	sys := s.model.Sys
+	s.ctrl.Reset()
+	st := s.cfg.Initial
+	// Arrival timestamps of currently enqueued requests.
+	fifo := make([]int64, 0, sys.QueueCap+1)
+	for i := 0; i < st.Q; i++ {
+		fifo = append(fifo, 0)
+	}
+
+	for t := int64(0); ; t++ {
+		obs := policy.Observation{
+			SP:       st.SP,
+			SR:       st.SR,
+			Queue:    st.Q,
+			Requests: sys.SR.Requests[st.SR],
+			Time:     t,
+		}
+		cmd := s.ctrl.Command(obs)
+		if cmd < 0 || cmd >= s.model.A {
+			panic(fmt.Sprintf("sim: controller issued command %d outside [0,%d)", cmd, s.model.A))
+		}
+
+		// Metric accounting at the current (state, command) pair.
+		idx := sys.Index(st)
+		for name, table := range s.model.Metrics {
+			ac.metricSums[name] += table.At(idx, cmd)
+		}
+		ac.cmdCounts[cmd]++
+		ac.occupancy[idx]++
+		ac.slices++
+
+		// Advance the environment.
+		arrivals, srNext, done := src(t)
+		if done {
+			return
+		}
+
+		// SP transition row for the *current* SR state (coupling hook).
+		spRow := sys.SP.P[cmd].Row(st.SP)
+		if sys.SPRow != nil {
+			if row := sys.SPRow(st.SP, cmd, st.SR); row != nil {
+				spRow = row
+			}
+		}
+		spNext := sampleRow(s.rng, spRow)
+
+		// Queue update per Eq. 3, with exact request accounting.
+		b := sys.SP.ServiceRate.At(st.SP, cmd)
+		ac.arrived += int64(arrivals)
+		q := len(fifo)
+		switch {
+		case arrivals == 0 && q == 0:
+			// Nothing to do.
+		case arrivals == 0:
+			if s.rng.Float64() < b {
+				ac.serviced++
+				ac.waitSum += t + 1 - fifo[0]
+				fifo = fifo[1:]
+			}
+		case q+arrivals > sys.QueueCap:
+			// Overflow corner case: the composed chain moves to q'=Q with
+			// probability 1 (Eq. 3) whether or not a service completes this
+			// slice — q+r−1 ≥ Q in every overflow — so the service event is
+			// still drawn: it changes only the request accounting (one more
+			// served, one fewer dropped), keeping the drop counter
+			// consistent with the analytic MetricDrops table.
+			remaining := arrivals
+			if s.rng.Float64() < b {
+				ac.serviced++
+				if q > 0 {
+					ac.waitSum += t + 1 - fifo[0]
+					fifo = fifo[1:]
+				} else {
+					remaining-- // an incoming request is served directly
+				}
+			}
+			space := sys.QueueCap - len(fifo)
+			for i := 0; i < space && i < remaining; i++ {
+				fifo = append(fifo, t+1)
+			}
+			if remaining > space {
+				ac.lost += int64(remaining - space)
+			}
+		default:
+			for i := 0; i < arrivals; i++ {
+				fifo = append(fifo, t+1)
+			}
+			if s.rng.Float64() < b {
+				ac.serviced++
+				ac.waitSum += t + 1 - fifo[0]
+				fifo = fifo[1:]
+			}
+		}
+
+		st = core.State{SP: spNext, SR: srNext, Q: len(fifo)}
+	}
+}
+
+func sampleRow(rng *rand.Rand, row []float64) int {
+	u := rng.Float64()
+	for i, p := range row {
+		u -= p
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(row) - 1
+}
+
+// Run simulates a single fixed-horizon session of the given number of
+// slices in model-driven mode (the SR evolves by its Markov chain).
+func (s *Simulator) Run(slices int64) (*Stats, error) {
+	if slices <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d must be positive", slices)
+	}
+	ac := newAccumulator(s.model)
+	sys := s.model.Sys
+	sr := s.cfg.Initial.SR
+	s.session(ac, func(t int64) (int, int, bool) {
+		if t+1 >= slices {
+			return 0, 0, true
+		}
+		sr = sampleRow(s.rng, sys.SR.P.Row(sr))
+		return sys.SR.Requests[sr], sr, false
+	})
+	return ac.stats(1), nil
+}
+
+// RunSessions simulates the paper's stopping-time model: sessions end with
+// probability 1−alpha at each slice (geometric horizon, Fig. 5), and the
+// reported averages aggregate over all sessions. This estimates the same
+// quantities as the optimizer's discounted per-slice averages.
+func (s *Simulator) RunSessions(alpha float64, sessions int) (*Stats, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("sim: alpha %g outside [0,1)", alpha)
+	}
+	if sessions <= 0 {
+		return nil, fmt.Errorf("sim: session count %d must be positive", sessions)
+	}
+	ac := newAccumulator(s.model)
+	sys := s.model.Sys
+	for i := 0; i < sessions; i++ {
+		sr := s.cfg.Initial.SR
+		s.session(ac, func(t int64) (int, int, bool) {
+			if s.rng.Float64() >= alpha {
+				return 0, 0, true
+			}
+			sr = sampleRow(s.rng, sys.SR.P.Row(sr))
+			return sys.SR.Requests[sr], sr, false
+		})
+	}
+	return ac.stats(sessions), nil
+}
+
+// RunTrace simulates one session driven by a discretized arrival trace:
+// arrivals[t] requests arrive during slice t+1 (slice 0 starts from the
+// configured initial state). The controller observes the quantized SR state
+// given by Config.SRStateOf.
+func (s *Simulator) RunTrace(arrivals []int) (*Stats, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	for i, a := range arrivals {
+		if a < 0 {
+			return nil, fmt.Errorf("sim: negative arrival count %d at slice %d", a, i)
+		}
+	}
+	ac := newAccumulator(s.model)
+	s.session(ac, func(t int64) (int, int, bool) {
+		if t >= int64(len(arrivals))-1 {
+			return 0, 0, true
+		}
+		a := arrivals[t+1]
+		return a, s.cfg.SRStateOf(a), false
+	})
+	return ac.stats(1), nil
+}

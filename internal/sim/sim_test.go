@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/mat"
+	"repro/internal/policy"
+)
+
+// exampleSystem mirrors the paper's running example (see core tests).
+func exampleSystem() *core.System {
+	sp := &core.ServiceProvider{
+		Name:     "example",
+		States:   []string{"on", "off"},
+		Commands: []string{"s_on", "s_off"},
+		P: []*mat.Matrix{
+			mat.FromRows([][]float64{{1, 0}, {0.1, 0.9}}),
+			mat.FromRows([][]float64{{0.1, 0.9}, {0, 1}}),
+		},
+		ServiceRate: mat.FromRows([][]float64{{0.8, 0}, {0, 0}}),
+		Power:       mat.FromRows([][]float64{{3, 4}, {4, 0}}),
+	}
+	return &core.System{Name: "example", SP: sp, SR: core.TwoStateSR("bursty", 0.10, 0.15), QueueCap: 1}
+}
+
+func buildExample(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := exampleSystem().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestRunValidation(t *testing.T) {
+	m := buildExample(t)
+	if _, err := New(m, &policy.Constant{}, Config{Initial: core.State{SP: 9}}); err == nil {
+		t.Errorf("bad initial state accepted")
+	}
+	s, err := New(m, &policy.Constant{}, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Run(0); err == nil {
+		t.Errorf("zero horizon accepted")
+	}
+	if _, err := s.RunSessions(1.0, 10); err == nil {
+		t.Errorf("alpha=1 accepted")
+	}
+	if _, err := s.RunSessions(0.9, 0); err == nil {
+		t.Errorf("zero sessions accepted")
+	}
+	if _, err := s.RunTrace(nil); err == nil {
+		t.Errorf("empty trace accepted")
+	}
+	if _, err := s.RunTrace([]int{1, -1}); err == nil {
+		t.Errorf("negative arrivals accepted")
+	}
+}
+
+// TestSimMatchesExactEvaluation is the paper tool's central cross-check:
+// simulated power/penalty/loss of a policy must agree with the analytic
+// evaluation within statistical tolerance.
+func TestSimMatchesExactEvaluation(t *testing.T) {
+	m := buildExample(t)
+	always, _ := core.ConstantPolicy(m.N, m.A, 0)
+	ev, err := core.Evaluate(m, always, core.Delta(m.N, 0), core.HorizonToAlpha(1e6))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	ctrl := &policy.Constant{Cmd: 0}
+	s, err := New(m, ctrl, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := s.Run(400000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, metric := range []string{core.MetricPower, core.MetricPenalty, core.MetricLoss} {
+		sim, exact := st.Averages[metric], ev.Average(metric)
+		if math.Abs(sim-exact) > 0.02*(1+exact) {
+			t.Errorf("%s: sim %g vs exact %g", metric, sim, exact)
+		}
+	}
+}
+
+// TestSimOptimalPolicy simulates the optimizer's randomized policy and
+// checks agreement with the LP's expected metrics. The discounted-optimal
+// policy is session-aware (it may shut down with small probability and rely
+// on the session ending), so the simulation must use the same geometric
+// session model (paper Fig. 5), not a single long run.
+func TestSimOptimalPolicy(t *testing.T) {
+	sys := exampleSystem()
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	alpha := 0.99 // expected session length 100 slices
+	init := core.State{SP: 0, SR: 0, Q: 0}
+	res, err := core.Optimize(m, core.Options{
+		Alpha:     alpha,
+		Initial:   core.Delta(m.N, sys.Index(init)),
+		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds: []core.Bound{
+			{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	ctrl, err := policy.NewStationary(sys, res.Policy, 3)
+	if err != nil {
+		t.Fatalf("NewStationary: %v", err)
+	}
+	s, err := New(m, ctrl, Config{Seed: 5, Initial: init})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := s.RunSessions(alpha, 20000)
+	if err != nil {
+		t.Fatalf("RunSessions: %v", err)
+	}
+	for _, metric := range []string{core.MetricPower, core.MetricPenalty} {
+		sim, want := st.Averages[metric], res.Averages[metric]
+		if math.Abs(sim-want) > 0.05*(1+want) {
+			t.Errorf("%s: sim %g vs LP %g", metric, sim, want)
+		}
+	}
+}
+
+// TestTraceDrivenMatchesModelDriven: a trace sampled from the SR chain must
+// reproduce model-driven statistics.
+func TestTraceDrivenMatchesModelDriven(t *testing.T) {
+	sys := exampleSystem()
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Sample a trace from the SR chain.
+	const n = 300000
+	srChain := sys.SR
+	arrivals := make([]int, n)
+	stateSeq := 0
+	rng := newTestRand(99)
+	for i := 1; i < n; i++ {
+		u := rng.Float64()
+		row := srChain.P.Row(stateSeq)
+		next := len(row) - 1
+		for j, p := range row {
+			u -= p
+			if u <= 0 {
+				next = j
+				break
+			}
+		}
+		stateSeq = next
+		arrivals[i] = srChain.Requests[stateSeq]
+	}
+
+	ctrl := &policy.Greedy{WakeCmd: 0, SleepCmd: 1}
+	sModel, _ := New(m, ctrl, Config{Seed: 2})
+	stModel, err := sModel.Run(n)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ctrl2 := &policy.Greedy{WakeCmd: 0, SleepCmd: 1}
+	sTrace, _ := New(m, ctrl2, Config{Seed: 2})
+	stTrace, err := sTrace.RunTrace(arrivals)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	for _, metric := range []string{core.MetricPower, core.MetricPenalty, core.MetricLoss} {
+		a, b := stModel.Averages[metric], stTrace.Averages[metric]
+		if math.Abs(a-b) > 0.03*(1+a) {
+			t.Errorf("%s: model %g vs trace %g", metric, a, b)
+		}
+	}
+}
+
+// TestRequestConservation: arrivals = serviced + lost + residual backlog
+// (bounded by queue capacity per session).
+func TestRequestConservation(t *testing.T) {
+	m := buildExample(t)
+	ctrl := &policy.Timeout{WakeCmd: 0, SleepCmd: 1, Timeout: 5}
+	s, err := New(m, ctrl, Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := s.RunSessions(0.999, 50)
+	if err != nil {
+		t.Fatalf("RunSessions: %v", err)
+	}
+	residual := st.Arrived - st.Serviced - st.Lost
+	if residual < 0 {
+		t.Errorf("serviced+lost exceeds arrivals: %d", residual)
+	}
+	if residual > int64(st.Sessions)*int64(m.Sys.QueueCap) {
+		t.Errorf("residual backlog %d exceeds %d sessions × capacity", residual, st.Sessions)
+	}
+	if st.Sessions != 50 {
+		t.Errorf("Sessions = %d", st.Sessions)
+	}
+}
+
+// TestZeroWaitWhenServiceImmediate: with service rate 1 and queue capacity
+// large, every request is serviced in its arrival slice with zero wait.
+func TestZeroWaitWhenServiceImmediate(t *testing.T) {
+	sp := &core.ServiceProvider{
+		Name:        "fast",
+		States:      []string{"on"},
+		Commands:    []string{"run"},
+		P:           []*mat.Matrix{mat.FromRows([][]float64{{1}})},
+		ServiceRate: mat.FromRows([][]float64{{1}}),
+		Power:       mat.FromRows([][]float64{{1}}),
+	}
+	sr := &core.ServiceRequester{
+		Name:     "steady",
+		States:   []string{"busy"},
+		P:        mat.FromRows([][]float64{{1}}),
+		Requests: []int{1},
+	}
+	sys := &core.System{Name: "flat", SP: sp, SR: sr, QueueCap: 4}
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, _ := New(m, &policy.Constant{}, Config{Seed: 1, Initial: core.State{SR: 0}})
+	st, err := s.Run(1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.AvgWait != 0 {
+		t.Errorf("AvgWait = %g, want 0", st.AvgWait)
+	}
+	if st.Lost != 0 {
+		t.Errorf("Lost = %d, want 0", st.Lost)
+	}
+	if th := st.Throughput(); math.Abs(th-1) > 0.01 {
+		t.Errorf("Throughput = %g, want ≈1", th)
+	}
+}
+
+// TestBacklogWaits: with service rate 0 the queue saturates; all further
+// arrivals are lost and nothing is serviced.
+func TestBacklogWaits(t *testing.T) {
+	sp := &core.ServiceProvider{
+		Name:        "dead",
+		States:      []string{"off"},
+		Commands:    []string{"noop"},
+		P:           []*mat.Matrix{mat.FromRows([][]float64{{1}})},
+		ServiceRate: mat.FromRows([][]float64{{0}}),
+		Power:       mat.FromRows([][]float64{{0}}),
+	}
+	sr := &core.ServiceRequester{
+		Name:     "steady",
+		States:   []string{"busy"},
+		P:        mat.FromRows([][]float64{{1}}),
+		Requests: []int{1},
+	}
+	sys := &core.System{Name: "dead", SP: sp, SR: sr, QueueCap: 2}
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, _ := New(m, &policy.Constant{}, Config{})
+	st, err := s.Run(1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Serviced != 0 {
+		t.Errorf("Serviced = %d, want 0", st.Serviced)
+	}
+	// 999 arrivals (slices 1..999), 2 enqueued, rest lost.
+	if st.Arrived != 999 {
+		t.Errorf("Arrived = %d, want 999", st.Arrived)
+	}
+	if st.Lost != 997 {
+		t.Errorf("Lost = %d, want 997", st.Lost)
+	}
+	if lf := st.LossFraction(); math.Abs(lf-997.0/999.0) > 1e-12 {
+		t.Errorf("LossFraction = %g", lf)
+	}
+	// Loss-indicator average: queue full with requests arriving from slice
+	// ~2 on.
+	if st.Averages[core.MetricLoss] < 0.95 {
+		t.Errorf("loss indicator average = %g, want ≈1", st.Averages[core.MetricLoss])
+	}
+}
+
+// TestSessionsApproximateDiscountedAverages: geometric-session simulation
+// estimates the optimizer's discounted per-slice averages.
+func TestSessionsApproximateDiscountedAverages(t *testing.T) {
+	m := buildExample(t)
+	always, _ := core.ConstantPolicy(m.N, m.A, 0)
+	alpha := 0.999
+	q0 := core.Delta(m.N, 0)
+	ev, err := core.Evaluate(m, always, q0, alpha)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	s, _ := New(m, &policy.Constant{Cmd: 0}, Config{Seed: 11})
+	st, err := s.RunSessions(alpha, 400)
+	if err != nil {
+		t.Fatalf("RunSessions: %v", err)
+	}
+	for _, metric := range []string{core.MetricPower, core.MetricPenalty} {
+		sim, exact := st.Averages[metric], ev.Average(metric)
+		if math.Abs(sim-exact) > 0.05*(1+exact) {
+			t.Errorf("%s: sessions %g vs exact %g", metric, sim, exact)
+		}
+	}
+}
+
+func TestOccupancyAndCommandCounts(t *testing.T) {
+	m := buildExample(t)
+	s, _ := New(m, &policy.Greedy{WakeCmd: 0, SleepCmd: 1}, Config{Seed: 3})
+	st, err := s.Run(50000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	totalOcc := 0.0
+	for _, f := range st.Occupancy {
+		totalOcc += f
+	}
+	if math.Abs(totalOcc-1) > 1e-9 {
+		t.Errorf("occupancy sums to %g", totalOcc)
+	}
+	var totalCmds int64
+	for _, c := range st.CommandCounts {
+		totalCmds += c
+	}
+	if totalCmds != st.Slices {
+		t.Errorf("command counts %d != slices %d", totalCmds, st.Slices)
+	}
+}
+
+// TestDropsMetricMatchesCounter: the analytic expected-drops metric
+// (accumulated from the per-(state,command) table) must agree with the
+// simulator's actual dropped-request counter — the two are independent
+// implementations of the same quantity.
+func TestDropsMetricMatchesCounter(t *testing.T) {
+	m := buildExample(t)
+	// Timeout policy sleeps aggressively, so drops actually occur.
+	ctrl := &policy.Timeout{WakeCmd: 0, SleepCmd: 1, Timeout: 2}
+	s, err := New(m, ctrl, Config{Seed: 13})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := s.Run(300000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	expected := st.Averages[core.MetricDrops]
+	actual := float64(st.Lost) / float64(st.Slices)
+	if actual == 0 {
+		t.Fatalf("no drops occurred; test needs a lossier scenario")
+	}
+	if math.Abs(expected-actual) > 0.05*actual {
+		t.Errorf("expected-drops metric %g vs counted drop rate %g", expected, actual)
+	}
+}

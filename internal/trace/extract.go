@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// ExtractSR builds the k-memory Markov service-requester model of paper
+// Section V from a per-slice count stream. The stream is binarized; the
+// model has 2^memory states, one per length-k bit history (LSB = most
+// recent slice), and the request count of a state is its newest bit.
+// Transition probabilities are relative transition counts; histories that
+// never occur in the trace receive a uniform distribution over their two
+// structurally reachable successors.
+func ExtractSR(name string, counts []int, memory int) (*core.ServiceRequester, error) {
+	if memory < 1 || memory > 16 {
+		return nil, fmt.Errorf("trace: memory %d outside [1,16]", memory)
+	}
+	bits := Binary(counts)
+	if len(bits) <= memory {
+		return nil, fmt.Errorf("trace: stream of %d slices too short for memory %d", len(bits), memory)
+	}
+	n := 1 << memory
+	mask := n - 1
+
+	tally := make([][2]float64, n) // per state: transitions emitting bit 0 / bit 1
+	state := 0
+	for i := 0; i < memory; i++ {
+		state = (state << 1) | bits[i]
+	}
+	for i := memory; i < len(bits); i++ {
+		b := bits[i]
+		tally[state][b]++
+		state = ((state << 1) | b) & mask
+	}
+
+	p := mat.NewMatrix(n, n)
+	for s := 0; s < n; s++ {
+		succ0 := (s << 1) & mask
+		succ1 := succ0 | 1
+		total := tally[s][0] + tally[s][1]
+		if total == 0 {
+			// Unseen history: uniform over its two successors. Such states
+			// are unreachable from observed histories, so the choice cannot
+			// distort optimization; stochasticity just has to hold.
+			p.Add(s, succ0, 0.5)
+			p.Add(s, succ1, 0.5)
+			continue
+		}
+		p.Add(s, succ0, tally[s][0]/total)
+		p.Add(s, succ1, tally[s][1]/total)
+	}
+
+	states := make([]string, n)
+	reqs := make([]int, n)
+	for s := 0; s < n; s++ {
+		states[s] = fmt.Sprintf("%0*b", memory, s)
+		reqs[s] = s & 1
+	}
+	sr := &core.ServiceRequester{Name: name, States: states, P: p, Requests: reqs}
+	if err := sr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: extracted model invalid: %w", err)
+	}
+	return sr, nil
+}
+
+// BinaryHistoryMapper returns a stateful mapper from per-slice arrival
+// counts to the k-memory SR state indices of ExtractSR models (a shift
+// register over the binarized stream, LSB = most recent slice). It is meant
+// for trace-driven simulation of policies optimized against k-memory
+// models: the simulator calls it once per slice, in order. The history
+// starts all-idle.
+func BinaryHistoryMapper(memory int) func(arrivals int) int {
+	if memory < 1 || memory > 16 {
+		panic(fmt.Sprintf("trace: memory %d outside [1,16]", memory))
+	}
+	mask := 1<<memory - 1
+	state := 0
+	return func(arrivals int) int {
+		b := 0
+		if arrivals > 0 {
+			b = 1
+		}
+		state = (state<<1 | b) & mask
+		return state
+	}
+}
+
+// ExtractSRLevels builds a one-memory multi-level SR model: states are the
+// per-slice request counts 0..maxLevel (counts above maxLevel are clipped),
+// each state issuing its own count. This is the natural extension of the
+// paper's extractor for workloads with more than one request per slice
+// (e.g. a busy web server), matching the remark that "the number of states
+// of the model can be larger than two, and R can take arbitrary integer
+// values".
+func ExtractSRLevels(name string, counts []int, maxLevel int) (*core.ServiceRequester, error) {
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("trace: maxLevel %d must be ≥ 1", maxLevel)
+	}
+	if len(counts) < 2 {
+		return nil, fmt.Errorf("trace: stream of %d slices too short", len(counts))
+	}
+	n := maxLevel + 1
+	clip := func(c int) int {
+		if c > maxLevel {
+			return maxLevel
+		}
+		return c
+	}
+	tally := mat.NewMatrix(n, n)
+	for i := 1; i < len(counts); i++ {
+		tally.Add(clip(counts[i-1]), clip(counts[i]), 1)
+	}
+	p := mat.NewMatrix(n, n)
+	for s := 0; s < n; s++ {
+		row := tally.Row(s)
+		total := row.Sum()
+		if total == 0 {
+			p.Set(s, s, 1) // unseen level: harmless self-loop
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p.Set(s, j, row[j]/total)
+		}
+	}
+	states := make([]string, n)
+	reqs := make([]int, n)
+	for s := 0; s < n; s++ {
+		states[s] = fmt.Sprintf("%d", s)
+		reqs[s] = s
+	}
+	sr := &core.ServiceRequester{Name: name, States: states, P: p, Requests: reqs}
+	if err := sr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: extracted model invalid: %w", err)
+	}
+	return sr, nil
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OnOff generates a binary Markov-modulated count stream: from an idle
+// slice the next slice is busy with probability p01, from a busy slice idle
+// with probability p10. This is exactly the two-state SR model of paper
+// Example 3.2, so the extractor must recover (p01, p10) from its output.
+func OnOff(rng *rand.Rand, n int, p01, p10 float64) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: OnOff length %d", n))
+	}
+	checkProb("p01", p01)
+	checkProb("p10", p10)
+	out := make([]int, n)
+	state := 0
+	for i := 0; i < n; i++ {
+		out[i] = state
+		switch state {
+		case 0:
+			if rng.Float64() < p01 {
+				state = 1
+			}
+		default:
+			if rng.Float64() < p10 {
+				state = 0
+			}
+		}
+	}
+	return out
+}
+
+// HeavyTailOnOff alternates geometric busy bursts (mean meanBusy slices)
+// with Pareto-distributed idle gaps (shape idleShape, minimum idleMin
+// slices, capped at idleCap). Heavy-tailed idle periods are the documented
+// signature of file-system disk traffic and are what makes disk power
+// management pay off; this is the "Auspex-like" generator of DESIGN.md §2.
+func HeavyTailOnOff(rng *rand.Rand, n int, meanBusy, idleShape, idleMin float64, idleCap int) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: HeavyTailOnOff length %d", n))
+	}
+	if meanBusy < 1 {
+		panic("trace: meanBusy must be ≥ 1 slice")
+	}
+	if idleShape <= 0 || idleMin < 1 {
+		panic("trace: idleShape must be > 0 and idleMin ≥ 1")
+	}
+	if idleCap < int(idleMin) {
+		panic("trace: idleCap below idleMin")
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		// Busy burst: geometric with mean meanBusy.
+		burst := 1
+		for rng.Float64() < 1-1/meanBusy {
+			burst++
+		}
+		for i := 0; i < burst && len(out) < n; i++ {
+			out = append(out, 1)
+		}
+		// Idle gap: Pareto(idleShape, idleMin), capped.
+		gap := int(idleMin * math.Pow(rng.Float64(), -1/idleShape))
+		if gap > idleCap {
+			gap = idleCap
+		}
+		for i := 0; i < gap && len(out) < n; i++ {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// BimodalOnOff alternates geometric busy bursts (mean meanBusy ≥ 1 slices)
+// with idle gaps drawn from a two-mode mixture: with probability pLong a
+// long gap (geometric, mean longIdle), otherwise a short one (geometric,
+// mean shortIdle). This is the inter-request vs think-time structure of
+// interactive workloads, and the crispest case for SR models with memory:
+// a few consecutive idle slices almost surely identify the long mode,
+// while a memoryless two-state model cannot tell the modes apart.
+func BimodalOnOff(rng *rand.Rand, n int, meanBusy, shortIdle, longIdle, pLong float64) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: BimodalOnOff length %d", n))
+	}
+	if meanBusy < 1 || shortIdle < 1 || longIdle < shortIdle {
+		panic("trace: need meanBusy ≥ 1 and 1 ≤ shortIdle ≤ longIdle")
+	}
+	checkProb("pLong", pLong)
+	geom := func(mean float64) int {
+		k := 1
+		for rng.Float64() < 1-1/mean {
+			k++
+		}
+		return k
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		for i, b := 0, geom(meanBusy); i < b && len(out) < n; i++ {
+			out = append(out, 1)
+		}
+		mean := shortIdle
+		if rng.Float64() < pLong {
+			mean = longIdle
+		}
+		for i, g := 0, geom(mean); i < g && len(out) < n; i++ {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// DiurnalPoisson generates Poisson arrivals whose rate swings sinusoidally
+// between base and peak requests per slice with the given period — the
+// "ITA-like" web-server workload: smooth daily load variation with
+// independent per-slice arrivals on top.
+func DiurnalPoisson(rng *rand.Rand, n, period int, base, peak float64) []int {
+	if n <= 0 || period <= 0 {
+		panic("trace: DiurnalPoisson needs positive length and period")
+	}
+	if base < 0 || peak < base {
+		panic("trace: need 0 ≤ base ≤ peak")
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * float64(i) / float64(period)
+		lambda := base + (peak-base)*0.5*(1+math.Sin(phase))
+		out[i] = poisson(rng, lambda)
+	}
+	return out
+}
+
+// poisson samples a Poisson variate by Knuth's method (rates here are
+// small, a few requests per slice at most).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Editor models interactive CPU use (paper Example 7.1's first trace):
+// short activity bursts separated by think-time gaps.
+func Editor(rng *rand.Rand, n int) []int {
+	return OnOff(rng, n, 0.02, 0.20) // ~9% load, mean burst 5, mean gap 50
+}
+
+// Compile models batch CPU use (paper Example 7.1's second trace): long
+// activity bursts with brief pauses.
+func Compile(rng *rand.Rand, n int) []int {
+	return OnOff(rng, n, 0.20, 0.01) // ~95% load, mean burst 100
+}
+
+// Concat joins count streams; used to build the non-stationary workload of
+// paper Example 7.1 (editor followed by compiler).
+func Concat(streams ...[]int) []int {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]int, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func checkProb(name string, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("trace: %s = %g outside [0,1]", name, p))
+	}
+}
