@@ -1,0 +1,23 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay identical:
+# `make` (or `make all`) is exactly what the CI job executes.
+
+GO ?= go
+
+.PHONY: all build lint test bench
+
+all: build lint test bench
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,10 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/experiments"
@@ -87,6 +89,42 @@ func BenchmarkOptimizeDisk(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Optimize(m, opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepDisk measures the full Pareto-curve computation for the
+// disk case study — the per-curve cost behind each of the paper's tradeoff
+// plots — through the public facade on the parallel warm-started engine.
+// Compare with internal/sweep's benchmarks for the sequential/cold grid.
+func BenchmarkSweepDisk(b *testing.B) {
+	sr := core.TwoStateSR("w", 0.002, 0.3)
+	sys := devices.DiskSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{
+		Alpha:            core.HorizonToAlpha(1e6),
+		Initial:          core.Delta(m.N, sys.Index(core.State{SP: devices.DiskActive})),
+		Objective:        core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		UnvisitedCommand: devices.DiskGoActive,
+		SkipEvaluation:   true,
+	}
+	bounds := make([]float64, 16)
+	for i := range bounds {
+		bounds[i] = 0.05 + 0.05*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := repro.ParallelParetoSweep(context.Background(), m, opts, core.MetricPenalty, lp.LE, bounds, repro.SweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			st := repro.ParetoSweepStats(pts)
+			b.ReportMetric(float64(st.WarmStarted), "warm/sweep")
+			b.ReportMetric(float64(st.Pivots), "pivots/sweep")
 		}
 	}
 }

@@ -11,7 +11,15 @@
 //   - internal/core — the paper's model (service provider / requester /
 //     queue, composition, policies, LP2/LP3/LP4 policy optimization,
 //     Pareto exploration);
-//   - internal/lp — dense two-phase simplex with refactorization;
+//   - internal/lp — dense two-phase simplex with refactorization, plus
+//     optimal-basis export/import (lp.Basis, lp.SolveWithBasis) so the
+//     closely related LPs of a Pareto sweep warm-start each other, with
+//     dual-simplex restoration when a bound change breaks feasibility;
+//   - internal/sweep — the concurrent sweep engine: a bounded
+//     GOMAXPROCS-sized worker pool with deterministic input-ordered
+//     results (sweep.Map), and chunked warm-started Pareto tracing
+//     (sweep.Pareto) that reproduces the sequential curve point for
+//     point with identical objectives;
 //   - internal/markov — Markov-chain analysis (stationary distributions,
 //     discounted values and occupancies, hitting times);
 //   - internal/policy — heuristic power managers (greedy, timeout,
@@ -44,6 +52,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/sweep"
 )
 
 // Core model types (paper Section III).
@@ -77,6 +86,13 @@ type (
 	Result = core.Result
 	// ParetoPoint is one point of a tradeoff curve.
 	ParetoPoint = core.ParetoPoint
+	// SweepConfig tunes the concurrent sweep engine (workers, warm starts).
+	SweepConfig = sweep.Config
+	// SweepStats summarizes a finished sweep's solves.
+	SweepStats = sweep.Stats
+	// Basis is an exported optimal LP basis for warm-starting the next
+	// structurally identical solve (Options.WarmBasis / Result.Basis).
+	Basis = lp.Basis
 	// Matrix and Vector are the dense linear-algebra types used throughout.
 	Matrix = mat.Matrix
 	Vector = mat.Vector
@@ -105,8 +121,14 @@ var (
 	// Optimize solves the constrained policy-optimization LP and extracts
 	// the optimal policy.
 	Optimize = core.Optimize
-	// ParetoSweep traces a power-performance tradeoff curve.
+	// ParetoSweep traces a power-performance tradeoff curve sequentially,
+	// warm-starting consecutive points from each other's optimal basis.
 	ParetoSweep = core.ParetoSweep
+	// ParallelParetoSweep traces the same curve on a bounded worker pool
+	// (context-cancellable, deterministic point order); ParetoSweepStats
+	// tallies how its solves went.
+	ParallelParetoSweep = sweep.Pareto
+	ParetoSweepStats    = sweep.Tally
 	// Evaluate computes exact discounted metrics of a policy.
 	Evaluate = core.Evaluate
 	// HorizonToAlpha converts an expected session length to a discount

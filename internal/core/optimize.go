@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,6 +49,14 @@ type Options struct {
 	// SkipEvaluation disables the exact cross-check evaluation of the
 	// extracted policy (a time saver inside large sweeps).
 	SkipEvaluation bool
+	// WarmBasis optionally warm-starts the LP from the optimal basis of a
+	// previous structurally identical solve (Result.Basis) — typically the
+	// neighbouring point of a Pareto sweep, where only one bound value
+	// moved. An unusable basis silently falls back to a cold solve. Warm
+	// starting never changes feasibility or the optimal objective; on
+	// degenerate LPs with multiple optima it may extract a different
+	// optimal policy (equal objective) than a cold solve would.
+	WarmBasis *lp.Basis
 }
 
 // Result is the outcome of policy optimization.
@@ -71,6 +80,12 @@ type Result struct {
 	Eval *Evaluation
 	// LPIterations counts simplex pivots.
 	LPIterations int
+	// Basis is the optimal LP basis, reusable as Options.WarmBasis for the
+	// next solve of a structurally identical problem.
+	Basis *lp.Basis
+	// WarmStarted reports whether the LP actually reused Options.WarmBasis
+	// (false when none was given or it fell back to a cold solve).
+	WarmStarted bool
 }
 
 // ErrInfeasible is wrapped by Optimize when the constraint set cannot be
@@ -150,8 +165,8 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 		prob.AddConstraint(fmt.Sprintf("%s %s %g", b.Metric, b.Rel, b.Value), coeffs, b.Rel, b.Value)
 	}
 
-	sol, err := lp.Solve(prob)
-	res := &Result{Status: sol.Status, LPIterations: sol.Iterations}
+	sol, basis, err := lp.SolveWithBasis(prob, opts.WarmBasis)
+	res := &Result{Status: sol.Status, LPIterations: sol.Iterations, Basis: basis, WarmStarted: sol.WarmStarted}
 	if err != nil {
 		if sol.Status == lp.Infeasible {
 			return res, fmt.Errorf("core: %w: %v", ErrInfeasible, err)
@@ -258,14 +273,39 @@ type ParetoPoint struct {
 // constraint "metric rel v", holding all other options fixed, and returns
 // the tradeoff curve (Section IV-A). Infeasible values yield points with
 // Feasible=false, corresponding to f(c)=+∞ in the paper.
+//
+// Consecutive points differ only in one right-hand side, so each solve
+// warm-starts from the previous feasible point's optimal basis (a caller-
+// supplied Options.WarmBasis seeds the first point). This is the sequential
+// reference path; package sweep runs ParetoSweepCtx per chunk on a worker
+// pool for multi-core sweeps.
 func ParetoSweep(m *Model, opts Options, metric string, rel lp.Rel, boundValues []float64) ([]ParetoPoint, error) {
+	return ParetoSweepCtx(context.Background(), m, opts, metric, rel, boundValues, false)
+}
+
+// ParetoSweepCtx is ParetoSweep with cancellation checks between points and
+// an optional cold mode that disables basis reuse entirely (including any
+// caller-supplied Options.WarmBasis), so every point solves from scratch.
+// It is the chunk worker of package sweep.
+func ParetoSweepCtx(ctx context.Context, m *Model, opts Options, metric string, rel lp.Rel, boundValues []float64, cold bool) ([]ParetoPoint, error) {
 	points := make([]ParetoPoint, 0, len(boundValues))
+	warm := opts.WarmBasis
+	if cold {
+		warm = nil
+	}
 	for _, v := range boundValues {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o := opts
 		o.Bounds = append(append([]Bound{}, opts.Bounds...), Bound{Metric: metric, Rel: rel, Value: v})
+		o.WarmBasis = warm
 		res, err := Optimize(m, o)
 		switch {
 		case err == nil:
+			if !cold {
+				warm = res.Basis
+			}
 			points = append(points, ParetoPoint{
 				BoundValue: v, Feasible: true,
 				Objective: res.Objective, Averages: res.Averages, Result: res,

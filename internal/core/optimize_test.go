@@ -456,3 +456,47 @@ func TestPolicyChainDimensionMismatch(t *testing.T) {
 		t.Errorf("Evaluate with short q0 accepted")
 	}
 }
+
+// TestParetoSweepWarmStarts checks the warm-starting contract on a real
+// policy LP: the sequential sweep actually reuses bases after the first
+// feasible point, and every warm-started point agrees with an independent
+// cold solve to tight tolerance.
+func TestParetoSweepWarmStarts(t *testing.T) {
+	sys := exampleSystem()
+	m := buildExample(t)
+	opts := Options{
+		Alpha:          HorizonToAlpha(1e5),
+		Initial:        Delta(m.N, sys.Index(State{SP: 0, SR: 0, Q: 0})),
+		Objective:      Objective{Metric: MetricPower, Sense: lp.Minimize},
+		SkipEvaluation: true,
+	}
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}
+	pts, err := ParetoSweep(m, opts, MetricPenalty, lp.LE, bounds)
+	if err != nil {
+		t.Fatalf("ParetoSweep: %v", err)
+	}
+	warmed := 0
+	for i, p := range pts {
+		if !p.Feasible {
+			continue
+		}
+		if p.Result.Basis == nil {
+			t.Errorf("feasible point %d carries no basis", i)
+		}
+		if p.Result.WarmStarted {
+			warmed++
+		}
+		o := opts
+		o.Bounds = []Bound{{Metric: MetricPenalty, Rel: lp.LE, Value: p.BoundValue}}
+		cold, err := Optimize(m, o)
+		if err != nil {
+			t.Fatalf("cold solve at bound %g: %v", p.BoundValue, err)
+		}
+		if math.Abs(cold.Objective-p.Objective) > 1e-9 {
+			t.Errorf("bound %g: warm objective %g vs cold %g", p.BoundValue, p.Objective, cold.Objective)
+		}
+	}
+	if warmed == 0 {
+		t.Errorf("no point of the sweep warm-started")
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/lp"
 	"repro/internal/policy"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -48,18 +50,21 @@ func Fig10(cfg Config) (*Result, error) {
 	tbl := NewTable("policy", "parameter", "power (W)", "penalty", "source")
 
 	simSeed := cfg.Seed + 55
-	for _, v := range []float64{0.002, 0.01, 0.03, 0.08} {
-		r, err := core.Optimize(m, core.Options{
-			Alpha:          alpha,
-			Initial:        q0,
-			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
-			Bounds:         []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: v}},
-			SkipEvaluation: true,
-		})
-		if err != nil {
-			tbl.AddRow("stochastic", fmt.Sprintf("penalty ≤ %.3g", v), "infeasible", "-", "LP")
+	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+		Alpha:          alpha,
+		Initial:        q0,
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		SkipEvaluation: true,
+	}, core.MetricPenalty, lp.LE, []float64{0.002, 0.01, 0.03, 0.08}, paretoCfg())
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		if !pt.Feasible {
+			tbl.AddRow("stochastic", fmt.Sprintf("penalty ≤ %.3g", pt.BoundValue), "infeasible", "-", "LP")
 			continue
 		}
+		v, r := pt.BoundValue, pt.Result
 		ctrl, err := stationaryCtrl(sys, r.Policy, simSeed)
 		if err != nil {
 			return nil, err

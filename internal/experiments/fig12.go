@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/sweep"
 )
 
 // baselineInitial returns the neutral initial distribution used by all
@@ -96,20 +98,27 @@ func Fig12a(cfg Config) (*Result, error) {
 		Title: "Baseline system: optimal power vs available sleep states (horizon 500)",
 	}
 	tbl := NewTable("sleep states", "power (perf ≤ 0.05)", "power (perf ≤ 0.5)")
-	for si, s := range structures {
-		row := []any{s.name}
-		for _, c := range constraints {
+	// One independent model build + solve per (structure, constraint) cell,
+	// fanned out on the sweep engine's worker pool.
+	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(structures)*len(constraints),
+		func(_ context.Context, i int) (float64, error) {
+			s, c := structures[i/len(constraints)], constraints[i%len(constraints)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = nil
-			for _, i := range s.sel {
-				bc.Sleep = append(bc.Sleep, all[i])
+			for _, k := range s.sel {
+				bc.Sleep = append(bc.Sleep, all[k])
 			}
-			p, err := minPowerBaseline(bc, alpha, []core.Bound{
+			return minPowerBaseline(bc, alpha, []core.Bound{
 				{Metric: core.MetricPenalty, Rel: lp.LE, Value: c.bound},
 			})
-			if err != nil {
-				return nil, err
-			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range structures {
+		row := []any{s.name}
+		for ci, c := range constraints {
+			p := powers[si*len(constraints)+ci]
 			res.AddSeries(c.name, Point{X: float64(si), Y: p, Feasible: !math.IsInf(p, 1)})
 			row = append(row, p)
 		}
@@ -148,16 +157,24 @@ func Fig12b(cfg Config) (*Result, error) {
 		Title: "Baseline system: optimal power vs sleep-state transition speed",
 	}
 	tbl := NewTable("wake prob", "sleep 2W/perf", "sleep 2W/loss", "sleep 0W/perf", "sleep 0W/loss")
-	for _, wp := range wakeProbs {
+	perRow := len(sleepPowers) * len(constraints)
+	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(wakeProbs)*perRow,
+		func(_ context.Context, i int) (float64, error) {
+			wp := wakeProbs[i/perRow]
+			sp := sleepPowers[i%perRow/len(constraints)]
+			c := constraints[i%len(constraints)]
+			bc := devices.DefaultBaseline()
+			bc.Sleep = []devices.SleepState{{Name: "sleep", Power: sp, WakeProb: wp}}
+			return minPowerBaseline(bc, alpha, []core.Bound{c.bound})
+		})
+	if err != nil {
+		return nil, err
+	}
+	for wi, wp := range wakeProbs {
 		row := []any{wp}
-		for _, sp := range sleepPowers {
-			for _, c := range constraints {
-				bc := devices.DefaultBaseline()
-				bc.Sleep = []devices.SleepState{{Name: "sleep", Power: sp, WakeProb: wp}}
-				p, err := minPowerBaseline(bc, alpha, []core.Bound{c.bound})
-				if err != nil {
-					return nil, err
-				}
+		for si, sp := range sleepPowers {
+			for ci, c := range constraints {
+				p := powers[wi*perRow+si*len(constraints)+ci]
 				res.AddSeries(fmt.Sprintf("p%g_%s", sp, c.name), Point{X: wp, Y: p, Feasible: !math.IsInf(p, 1)})
 				row = append(row, p)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/lp"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -38,19 +40,24 @@ func Fig13a(cfg Config) (*Result, error) {
 		Title: "Baseline system (4 sleep states): optimal power vs SR burstiness (load fixed at 0.5)",
 	}
 	tbl := NewTable("flip prob", "power (perf ≤ 0.2)", "power (perf ≤ 0.8)")
-	for _, f := range flips {
-		row := []any{f}
-		for _, c := range constraints {
+	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(flips)*len(constraints),
+		func(_ context.Context, i int) (float64, error) {
+			f, c := flips[i/len(constraints)], constraints[i%len(constraints)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = devices.DeepSleepStates()
 			bc.SRFlip = f
-			p, err := minPowerBaseline(bc, alpha, []core.Bound{
+			return minPowerBaseline(bc, alpha, []core.Bound{
 				{Metric: core.MetricPenalty, Rel: lp.LE, Value: c.bound},
 				{Metric: core.MetricDrops, Rel: lp.LE, Value: 0.01},
 			})
-			if err != nil {
-				return nil, err
-			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range flips {
+		row := []any{f}
+		for ci, c := range constraints {
+			p := powers[fi*len(constraints)+ci]
 			res.AddSeries(c.name, Point{X: f, Y: p, Feasible: !math.IsInf(p, 1)})
 			row = append(row, p)
 		}
@@ -104,18 +111,28 @@ func Fig13b(cfg Config) (*Result, error) {
 	}
 	tbl := NewTable("memory k", "SP", "model cost", "trace cost", "trace power", "trace penalty")
 
-	simSeed := cfg.Seed + 130
-	for _, k := range memories {
-		sr, err := trace.ExtractSR(fmt.Sprintf("ht-mem%d", k), counts, k)
-		if err != nil {
-			return nil, err
-		}
-		for _, spv := range sps {
+	// Stage 1, parallel: SR extraction per memory depth, then one model
+	// build + LP solve per (memory, SP) pair on the sweep engine.
+	srs, err := sweep.Map(context.Background(), sweep.Config{}, len(memories),
+		func(_ context.Context, i int) (*core.ServiceRequester, error) {
+			return trace.ExtractSR(fmt.Sprintf("ht-mem%d", memories[i]), counts, memories[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	type solved struct {
+		m   *core.Model
+		sys *core.System
+		r   *core.Result
+	}
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(memories)*len(sps),
+		func(_ context.Context, i int) (solved, error) {
+			spv := sps[i%len(sps)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = spv.sleep
-			sys, err := devices.BaselineSystemWithSR(bc, sr)
+			sys, err := devices.BaselineSystemWithSR(bc, srs[i/len(sps)])
 			if err != nil {
-				return nil, err
+				return solved{}, err
 			}
 			sp := sys.SP
 			sys.ExtraMetrics = map[string]func(core.State, int) float64{
@@ -125,7 +142,7 @@ func Fig13b(cfg Config) (*Result, error) {
 			}
 			m, err := sys.Build()
 			if err != nil {
-				return nil, err
+				return solved{}, err
 			}
 			r, err := core.Optimize(m, core.Options{
 				Alpha:          alpha,
@@ -134,14 +151,26 @@ func Fig13b(cfg Config) (*Result, error) {
 				SkipEvaluation: true,
 			})
 			if err != nil {
-				return nil, err
+				return solved{}, err
 			}
+			return solved{m: m, sys: sys, r: r}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 
-			ctrl, err := stationaryCtrl(sys, r.Policy, simSeed)
+	// Stage 2, sequential: the seeded trace simulations, in the historical
+	// order so every cell sees the same RNG stream as before.
+	simSeed := cfg.Seed + 130
+	for ki, k := range memories {
+		for si, spv := range sps {
+			cell := cells[ki*len(sps)+si]
+			r := cell.r
+			ctrl, err := stationaryCtrl(cell.sys, r.Policy, simSeed)
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.New(m, ctrl, sim.Config{
+			s, err := sim.New(cell.m, ctrl, sim.Config{
 				Seed:      simSeed,
 				Initial:   core.State{},
 				SRStateOf: trace.BinaryHistoryMapper(k),

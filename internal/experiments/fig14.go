@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/lp"
+	"repro/internal/sweep"
 )
 
 // Fig14a examines paper Fig. 14(a): optimal power versus the time horizon,
@@ -59,11 +61,17 @@ func Fig14a(cfg Config) (*Result, error) {
 	}
 	tbl := NewTable("trap prob (1-α)", "horizon", "loss bound",
 		"LP power", "long-run power", "long-run penalty", "long-run loss", "feasible long-run")
-	for _, tp := range trapProbs {
-		alpha := 1 - tp
-		for _, lb := range lossBounds {
+	// Each (horizon, loss-bound) cell is an independent solve of the same
+	// model plus its long-session re-evaluation; fan both out per cell.
+	type cell struct {
+		r  *core.Result
+		ev *core.Evaluation
+	}
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(trapProbs)*len(lossBounds),
+		func(_ context.Context, i int) (cell, error) {
+			tp, lb := trapProbs[i/len(lossBounds)], lossBounds[i%len(lossBounds)]
 			r, err := core.Optimize(m, core.Options{
-				Alpha:     alpha,
+				Alpha:     1 - tp,
 				Initial:   q0,
 				Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 				Bounds: []core.Bound{
@@ -72,24 +80,36 @@ func Fig14a(cfg Config) (*Result, error) {
 				},
 				SkipEvaluation: true,
 			})
-			series := "tight"
-			if lb > 0.05 {
-				series = "loose"
-			}
 			if err != nil {
-				tbl.AddRow(tp, 1/tp, lb, "infeasible", "-", "-", "-", "-")
-				res.AddSeries("lp_"+series, Point{X: tp})
-				continue
+				return cell{}, nil // rendered as an infeasible row, as before
 			}
 			// Long-session re-evaluation of the H-optimized policy.
 			ev, err := core.Evaluate(m, r.Policy, q0, evalAlpha)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
+			return cell{r: r, ev: ev}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tp := range trapProbs {
+		for li, lb := range lossBounds {
+			c := cells[ti*len(lossBounds)+li]
+			series := "tight"
+			if lb > 0.05 {
+				series = "loose"
+			}
+			if c.r == nil {
+				tbl.AddRow(tp, 1/tp, lb, "infeasible", "-", "-", "-", "-")
+				res.AddSeries("lp_"+series, Point{X: tp})
+				continue
+			}
+			ev := c.ev
 			longOK := ev.Average(core.MetricPenalty) <= 0.5+1e-6 && ev.Average(core.MetricLoss) <= lb+1e-6
-			res.AddSeries("lp_"+series, Point{X: tp, Y: r.Objective, Feasible: true})
+			res.AddSeries("lp_"+series, Point{X: tp, Y: c.r.Objective, Feasible: true})
 			res.AddSeries("longrun_ok_"+series, Point{X: tp, Y: b2f(longOK), Feasible: true})
-			tbl.AddRow(tp, 1/tp, lb, r.Objective,
+			tbl.AddRow(tp, 1/tp, lb, c.r.Objective,
 				ev.Average(core.MetricPower), ev.Average(core.MetricPenalty), ev.Average(core.MetricLoss),
 				fmt.Sprintf("%v", longOK))
 		}
@@ -133,19 +153,24 @@ func Fig14b(cfg Config) (*Result, error) {
 		Title: "Baseline system (4 sleep states): optimal power vs queue length",
 	}
 	tbl := NewTable("queue length", "power (loss ≤ 0.02)", "power (loss ≤ 0.1)", "power (loss ≤ 0.6)")
-	for _, q := range queueLens {
-		row := []any{q}
-		for _, lb := range lossBounds {
+	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(queueLens)*len(lossBounds),
+		func(_ context.Context, i int) (float64, error) {
+			q, lb := queueLens[i/len(lossBounds)], lossBounds[i%len(lossBounds)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = devices.DeepSleepStates()
 			bc.QueueCap = q
-			p, err := minPowerBaseline(bc, alpha, []core.Bound{
+			return minPowerBaseline(bc, alpha, []core.Bound{
 				{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5},
 				{Metric: core.MetricLoss, Rel: lp.LE, Value: lb.bound},
 			})
-			if err != nil {
-				return nil, err
-			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	for qi, q := range queueLens {
+		row := []any{q}
+		for li, lb := range lossBounds {
+			p := powers[qi*len(lossBounds)+li]
 			res.AddSeries("loss_"+lb.name, Point{X: float64(q), Y: p, Feasible: !math.IsInf(p, 1)})
 			row = append(row, p)
 		}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/lp"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -66,20 +68,31 @@ func Fig9a(cfg Config) (*Result, error) {
 	// be wide; quick-mode sessions are short, so more of them are cheap.
 	sessions := pick(cfg, 40, 120)
 	simSeed := cfg.Seed + 99
-	for _, frac := range fractions {
-		floor := frac * busy
-		r, err := core.Optimize(m, core.Options{
-			Alpha:          alpha,
-			Initial:        q0,
-			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
-			Bounds:         []core.Bound{{Metric: devices.WebMetricThroughput, Rel: lp.GE, Value: floor}},
-			SkipEvaluation: true,
-		})
-		if err != nil {
+
+	// All LP solves run up front on the parallel warm-started engine; the
+	// seeded simulations then consume the points strictly in sweep order so
+	// the RNG streams match the historical sequential run.
+	floors := make([]float64, len(fractions))
+	for i, frac := range fractions {
+		floors[i] = frac * busy
+	}
+	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+		Alpha:          alpha,
+		Initial:        q0,
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		SkipEvaluation: true,
+	}, devices.WebMetricThroughput, lp.GE, floors, paretoCfg())
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		frac, floor := fractions[i], floors[i]
+		if !pt.Feasible {
 			tbl.AddRow(frac, floor, "infeasible", "-", "-", "-", "-", "-")
 			res.AddSeries("optimal", Point{X: frac})
 			continue
 		}
+		r := pt.Result
 		// Frequency of the "processor 2 alone" configuration.
 		p2alone := 0.0
 		for i := 0; i < m.N; i++ {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/lp"
 	"repro/internal/policy"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -49,20 +51,22 @@ func Fig9b(cfg Config) (*Result, error) {
 	penBounds := pick(cfg,
 		[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08},
 		[]float64{0.002, 0.01, 0.035, 0.08})
-	for _, v := range penBounds {
-		r, err := core.Optimize(m, core.Options{
-			Alpha:          alpha,
-			Initial:        q0,
-			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
-			Bounds:         []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: v}},
-			SkipEvaluation: true,
-		})
-		if err != nil {
-			tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", v), "infeasible", "-", "LP")
+	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+		Alpha:          alpha,
+		Initial:        q0,
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		SkipEvaluation: true,
+	}, core.MetricPenalty, lp.LE, penBounds, paretoCfg())
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		if !pt.Feasible {
+			tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", pt.BoundValue), "infeasible", "-", "LP")
 			continue
 		}
-		res.AddSeries("optimal", Point{X: r.Averages[core.MetricPenalty], Y: r.Objective, Feasible: true})
-		tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", v), r.Objective, r.Averages[core.MetricPenalty], "LP")
+		res.AddSeries("optimal", Point{X: pt.Averages[core.MetricPenalty], Y: pt.Objective, Feasible: true})
+		tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", pt.BoundValue), pt.Objective, pt.Averages[core.MetricPenalty], "LP")
 	}
 
 	// Timeout heuristic, measured by long model-driven simulation.

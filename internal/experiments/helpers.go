@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // newRNG derives a generator from the config seed and a per-experiment salt
@@ -16,6 +17,15 @@ import (
 func newRNG(cfg Config, salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(cfg.Seed*1000003 + salt))
 }
+
+// paretoCfg is the sweep-engine configuration for experiment runners:
+// parallel, but with a machine-independent worker count. Chunk boundaries —
+// and therefore warm-start chains and any tie-break among alternate LP
+// optima — depend on the worker count, and experiments must reproduce
+// identically for a fixed Config on any machine, so they must not inherit
+// GOMAXPROCS. Grid sweeps via sweep.Map have independent cells and may use
+// the default configuration freely.
+func paretoCfg() sweep.Config { return sweep.Config{Workers: 4} }
 
 // pick returns full in full mode and quick in Quick mode.
 func pick[T any](cfg Config, full, quick T) T {

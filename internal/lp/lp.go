@@ -135,6 +135,9 @@ type Solution struct {
 	Objective  float64   // c'x in the problem's own sense
 	Activities []float64 // a_i'x per constraint
 	Iterations int
+	// WarmStarted reports that the solve reused a caller-supplied Basis and
+	// skipped phase 1 (see SolveWithBasis).
+	WarmStarted bool
 }
 
 // ErrNotOptimal is wrapped by Solve when the problem has no optimal solution.
@@ -151,45 +154,23 @@ const (
 // status is not Optimal; callers that distinguish infeasible from unbounded
 // should inspect Solution.Status.
 func Solve(p *Problem) (*Solution, error) {
-	sol := solveOnce(p, false)
-	if sol.Status == Numerical {
-		// Retry with Bland's rule from the start and aggressive
-		// refactorization; slower but maximally stable.
-		sol = solveOnce(p, true)
-	}
-	if sol.Status != Optimal {
-		return sol, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
-	}
-	// Activities and objective are recomputed from the original data.
-	sol.Activities = make([]float64, len(p.Cons))
-	for i, c := range p.Cons {
-		a := 0.0
-		for j, v := range c.Coeffs {
-			a += v * sol.X[j]
-		}
-		sol.Activities[i] = a
-	}
-	obj := 0.0
-	for j, v := range p.Obj {
-		obj += v * sol.X[j]
-	}
-	sol.Objective = obj
-	return sol, nil
+	sol, _, err := SolveWithBasis(p, nil)
+	return sol, err
 }
 
-func solveOnce(p *Problem, conservative bool) *Solution {
+func solveOnce(p *Problem, conservative bool) (*Solution, *tableau) {
 	t, preStatus := newTableau(p, conservative)
 	if preStatus != Optimal {
-		return &Solution{Status: preStatus}
+		return &Solution{Status: preStatus}, nil
 	}
 	sol := t.solve()
 	if sol.Status != Optimal {
-		return sol
+		return sol, nil
 	}
 	if !t.verify(sol.X) {
 		sol.Status = Numerical
 	}
-	return sol
+	return sol, t
 }
 
 // tableau is the dense simplex tableau plus the immutable standard-form
@@ -602,6 +583,14 @@ func (t *tableau) solve() *Solution {
 		}
 	}
 
+	return t.phase2()
+}
+
+// phase2 optimizes the true objective from the current (primal feasible)
+// basis and extracts the solution. It is the shared tail of the cold
+// two-phase solve and of warm starts that enter with a reusable basis.
+func (t *tableau) phase2() *Solution {
+	sol := &Solution{}
 	if !t.refresh(t.cost2) {
 		sol.Status = Numerical
 		return sol

@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// The benchmark grid crosses {sequential, parallel} × {cold, warm} on the
+// 20-point disk-drive Pareto sweep, the workload behind the paper's Fig. 8
+// curves. BenchmarkParetoSequentialCold is the repo's original behaviour
+// (one cold two-phase solve per point, one after another);
+// BenchmarkParetoParallelWarm is the new engine's default. Each reports
+// pivots/sweep so the warm-starting effect is visible independently of the
+// machine's core count.
+func benchPareto(b *testing.B, cfg Config) {
+	m, opts, bounds := diskSweep(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var pivots int
+	for i := 0; i < b.N; i++ {
+		pts, err := Pareto(ctx, m, opts, core.MetricPenalty, lp.LE, bounds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pivots = Tally(pts).Pivots
+	}
+	b.ReportMetric(float64(pivots), "pivots/sweep")
+}
+
+func BenchmarkParetoSequentialCold(b *testing.B) { benchPareto(b, Config{Workers: 1, Cold: true}) }
+func BenchmarkParetoSequentialWarm(b *testing.B) { benchPareto(b, Config{Workers: 1}) }
+func BenchmarkParetoParallelCold(b *testing.B)   { benchPareto(b, Config{Cold: true}) }
+func BenchmarkParetoParallelWarm(b *testing.B)   { benchPareto(b, Config{}) }

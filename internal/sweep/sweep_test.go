@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+)
+
+// diskSweep is the fixture shared by the determinism tests and benchmarks:
+// the paper's largest case study (Table-I disk, 66 states × 5 commands,
+// horizon 10⁶) with a 20-point performance-bound sweep whose lowest values
+// are infeasible.
+func diskSweep(t testing.TB) (*core.Model, core.Options, []float64) {
+	t.Helper()
+	sr := core.TwoStateSR("w", 0.002, 0.3)
+	sys := devices.DiskSystem(sr)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		Alpha:            core.HorizonToAlpha(1e6),
+		Initial:          core.Delta(m.N, sys.Index(core.State{SP: devices.DiskActive})),
+		Objective:        core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		UnvisitedCommand: devices.DiskGoActive,
+		SkipEvaluation:   true,
+	}
+	bounds := make([]float64, 20)
+	for i := range bounds {
+		bounds[i] = 0.001 * math.Pow(1.55, float64(i)) // ~0.001 … ~3.9
+	}
+	return m, opts, bounds
+}
+
+func comparePoints(t *testing.T, label string, got, want []core.ParetoPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.BoundValue != w.BoundValue {
+			t.Errorf("%s[%d]: bound %g, want %g (order not deterministic)", label, i, g.BoundValue, w.BoundValue)
+		}
+		if g.Feasible != w.Feasible {
+			t.Errorf("%s[%d]: feasible=%v, want %v", label, i, g.Feasible, w.Feasible)
+			continue
+		}
+		if w.Feasible && math.Abs(g.Objective-w.Objective) > 1e-9 {
+			t.Errorf("%s[%d]: objective %.15g, want %.15g (Δ=%g)", label, i, g.Objective, w.Objective,
+				math.Abs(g.Objective-w.Objective))
+		}
+	}
+}
+
+// TestParetoMatchesSequential is the determinism contract: for any worker
+// count, warm or cold, the parallel engine returns the same points in the
+// same order with the same values (within 1e-9) as the sequential
+// core.ParetoSweep path.
+func TestParetoMatchesSequential(t *testing.T) {
+	m, opts, bounds := diskSweep(t)
+	seq, err := core.ParetoSweep(m, opts, core.MetricPenalty, lp.LE, bounds)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	feas := 0
+	for _, p := range seq {
+		if p.Feasible {
+			feas++
+		}
+	}
+	if feas == 0 || feas == len(seq) {
+		t.Fatalf("fixture not discriminating: %d/%d feasible", feas, len(seq))
+	}
+
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{Workers: 3},
+		{Workers: 8},
+		{Workers: 8, Cold: true},
+		{Workers: 64}, // more workers than points
+	} {
+		par, err := Pareto(context.Background(), m, opts, core.MetricPenalty, lp.LE, bounds, cfg)
+		if err != nil {
+			t.Fatalf("parallel sweep %+v: %v", cfg, err)
+		}
+		comparePoints(t, "parallel", par, seq)
+	}
+}
+
+// TestParetoWarmStartsWithinChunks checks that the engine actually reuses
+// bases: with one worker every feasible point after the first warm-starts,
+// and warm solves pivot less than cold ones in aggregate.
+func TestParetoWarmStartsWithinChunks(t *testing.T) {
+	m, opts, bounds := diskSweep(t)
+	warm, err := Pareto(context.Background(), m, opts, core.MetricPenalty, lp.LE, bounds, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Pareto(context.Background(), m, opts, core.MetricPenalty, lp.LE, bounds, Config{Workers: 1, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, cs := Tally(warm), Tally(cold)
+	if cs.WarmStarted != 0 {
+		t.Errorf("cold sweep reports %d warm starts", cs.WarmStarted)
+	}
+	if ws.WarmStarted == 0 {
+		t.Errorf("warm sweep never reused a basis")
+	}
+	if ws.Pivots >= cs.Pivots {
+		t.Errorf("warm sweep pivots %d not below cold %d", ws.Pivots, cs.Pivots)
+	}
+	t.Logf("pivots: warm %d vs cold %d (%d/%d points warm-started)",
+		ws.Pivots, cs.Pivots, ws.WarmStarted, ws.Feasible)
+}
+
+func TestParetoCancellation(t *testing.T) {
+	m, opts, bounds := diskSweep(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Pareto(ctx, m, opts, core.MetricPenalty, lp.LE, bounds, Config{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMapOrderAndBounds(t *testing.T) {
+	got, err := Map(context.Background(), Config{Workers: 7}, 100, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if _, err := Map(context.Background(), Config{}, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty input")
+		return 0, nil
+	}); err != nil {
+		t.Errorf("empty Map: %v", err)
+	}
+}
+
+func TestMapErrorCancelsRemainingWork(t *testing.T) {
+	// With a single worker execution is strictly sequential, so the cutoff
+	// after the failing item is deterministic.
+	sentinel := errors.New("boom")
+	calls := 0
+	_, err := Map(context.Background(), Config{Workers: 1}, 64, func(ctx context.Context, i int) (int, error) {
+		calls++
+		if i == 5 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 6 {
+		t.Errorf("%d items ran, want 6 (work after the error must not run)", calls)
+	}
+
+	// Multi-worker: some tagged error must surface, never a bare
+	// context.Canceled from the self-inflicted cancellation.
+	_, err = Map(context.Background(), Config{Workers: 4}, 64, func(ctx context.Context, i int) (int, error) {
+		return 0, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("multi-worker err = %v, want sentinel", err)
+	}
+}
