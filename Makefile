@@ -1,7 +1,13 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay identical:
-# `make` (or `make all`) is exactly what the CI job executes.
+# `make` (or `make all`) is exactly what the CI job executes (the bench
+# step in CI runs `make bench` directly).
 
 GO ?= go
+
+# The bench target pipes into benchjson; pipefail keeps a failing bench run
+# failing the target.
+SHELL := bash
+.SHELLFLAGS := -o pipefail -ec
 
 .PHONY: all build lint test bench
 
@@ -19,5 +25,9 @@ lint:
 test:
 	$(GO) test -race ./...
 
+# One iteration per benchmark proves every benchmark still compiles and
+# runs; benchjson converts the log into BENCH.json (benchmark → ns/op,
+# B/op, allocs/op, custom metrics) so the perf trajectory is tracked
+# across PRs. CI uploads BENCH.json as an artifact.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH.json

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON record so the performance trajectory of the repository can be tracked
+// across PRs (CI uploads the file as an artifact; `make bench` writes it
+// locally).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -o BENCH.json
+//
+// The input is echoed to stdout unchanged, so the human-readable log
+// survives. Each benchmark line becomes one entry mapping metric unit →
+// value: the standard ns/op, B/op and allocs/op plus any custom
+// b.ReportMetric units (pivots, warm/sweep, …).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo/sub-8   	       3	 123456 ns/op	 42 B/op	 7 allocs/op	 12.0 pivots
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// metricPair matches one "value unit" pair in the tail of a benchmark line.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+([^\s]+)`)
+
+// Entry is one benchmark result. Package disambiguates same-named
+// benchmarks across packages (it comes from the "pkg:" header lines of the
+// bench log).
+type Entry struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path for the JSON report")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	var report Report
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			metrics[pair[2]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		report.Benchmarks = append(report.Benchmarks, Entry{
+			Package:    pkg,
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: iters,
+			Metrics:    metrics,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Deterministic order regardless of package scheduling.
+	sort.Slice(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), out)
+	return nil
+}

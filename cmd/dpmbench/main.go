@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	dpmbench [-quick] [-seed N] [experiment ...]
+//	dpmbench [-quick] [-seed N] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // Without arguments it runs every experiment in DESIGN.md §5 and prints
 // each reproduction as a text table. Experiment ids: table1, fig6, fig8b,
 // fig9a, fig9b, fig10, fig12a, fig12b, fig13a, fig13b, fig14a, fig14b,
 // exampleA2.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the experiment
+// runs (the heap profile is taken after the last experiment), so future
+// performance work can profile the real workload without code edits:
+//
+//	dpmbench -cpuprofile cpu.prof fig10 && go tool pprof cpu.prof
 package main
 
 import (
@@ -15,28 +21,42 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced horizons and trace lengths")
 	seed := flag.Int64("seed", 1, "random seed for synthetic workloads and simulation")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	ids := flag.Args()
+	if err := run(*quick, *seed, *cpuprofile, *memprofile, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed int64, cpuprofile, memprofile string, ids []string) error {
+	stopProfiles, err := cli.StartProfiles(cpuprofile, memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: quick, Seed: seed}
 	for _, id := range ids {
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dpmbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		if err := experiments.Render(os.Stdout, res); err != nil {
-			fmt.Fprintf(os.Stderr, "dpmbench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }

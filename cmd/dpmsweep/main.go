@@ -35,12 +35,24 @@ func main() {
 	p10 := flag.Float64("p10", 0, "workload busy→idle probability (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent LP solves (0 = GOMAXPROCS)")
 	cold := flag.Bool("cold", false, "disable LP warm-starting between sweep points")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *device, *horizon, *minimize, *sweepMetric, *rel, *values, *bounds, *p01, *p10,
-		sweep.Config{Workers: *workers, Cold: *cold}); err != nil {
+	err := func() error {
+		// The profile stop/flush must run before exit, and run's error paths
+		// must not skip it; only this closure's scope guarantees both.
+		stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			return err
+		}
+		defer stopProfiles()
+		return run(ctx, *device, *horizon, *minimize, *sweepMetric, *rel, *values, *bounds, *p01, *p10,
+			sweep.Config{Workers: *workers, Cold: *cold})
+	}()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpmsweep: %v\n", err)
 		os.Exit(1)
 	}

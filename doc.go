@@ -11,25 +11,36 @@
 //   - internal/core — the paper's model (service provider / requester /
 //     queue, composition, policies, LP2/LP3/LP4 policy optimization,
 //     Pareto exploration);
-//   - internal/lp — dense two-phase simplex with refactorization, plus
-//     optimal-basis export/import (lp.Basis, lp.SolveWithBasis) so the
-//     closely related LPs of a Pareto sweep warm-start each other, with
-//     dual-simplex restoration when a bound change breaks feasibility;
+//   - internal/lp — two-phase revised simplex over a column-sparse
+//     constraint matrix, keeping only a dense LU of the m×m basis
+//     (eta-file updates, periodic refactorization), plus optimal-basis
+//     export/import (lp.Basis, lp.SolveWithBasis) so the closely related
+//     LPs of a Pareto sweep warm-start each other, with dual-simplex
+//     restoration when a bound change breaks feasibility; the legacy
+//     dense tableau survives as lp.SolveDense for parity tests and
+//     benchmarks;
 //   - internal/sweep — the concurrent sweep engine: a bounded
 //     GOMAXPROCS-sized worker pool with deterministic input-ordered
 //     results (sweep.Map), and chunked warm-started Pareto tracing
 //     (sweep.Pareto) that reproduces the sequential curve point for
 //     point with identical objectives;
-//   - internal/markov — Markov-chain analysis (stationary distributions,
-//     discounted values and occupancies, hitting times);
+//   - internal/markov — CSR-backed Markov-chain analysis (stationary
+//     distributions, discounted values and occupancies, hitting times),
+//     with O(nnz) distribution steps and direct solves assembled straight
+//     from the sparse form;
 //   - internal/policy — heuristic power managers (greedy, timeout,
 //     randomized timeout) and the stationary-policy controller;
 //   - internal/sim — the slotted stochastic simulation engine (model-,
 //     session- and trace-driven);
 //   - internal/trace — request traces, the SR extractor and synthetic
 //     workload generators;
+//   - internal/mat — the linear-algebra substrate: dense vectors and
+//     matrices with an LU solver, and the sparse kernel (triplet builder,
+//     CSR/CSC, sparse×dense products, stochastic validation on sparse
+//     form) that the composed chains and the LP columns live in;
 //   - internal/devices — the paper's case-study models (example system,
-//     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU);
+//     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU,
+//     and the mini-disk CompositeSP network fixture);
 //   - internal/experiments — one runner per paper table/figure.
 //
 // A minimal end-to-end use:
@@ -131,6 +142,9 @@ var (
 	ParetoSweepStats    = sweep.Tally
 	// Evaluate computes exact discounted metrics of a policy.
 	Evaluate = core.Evaluate
+	// BuildFrequencyLP assembles the LP2/LP3/LP4 frequency program in
+	// sparse form without solving it (benchmarking, alternative solvers).
+	BuildFrequencyLP = core.BuildFrequencyLP
 	// HorizonToAlpha converts an expected session length to a discount
 	// factor; AlphaToHorizon inverts it.
 	HorizonToAlpha = core.HorizonToAlpha

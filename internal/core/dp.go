@@ -29,12 +29,13 @@ type DPResult struct {
 
 // bellmanBackup computes one Bellman operator application:
 // out[s] = min_a cost(s,a) + α Σ_j P_a(s,j) v[j], recording the argmin.
+// Each expectation is a sparse row dot, so a sweep costs O(Σ_a nnz(P_a)).
 func bellmanBackup(m *Model, cost *mat.Matrix, v mat.Vector, alpha float64, out mat.Vector, argmin []int) {
 	for s := 0; s < m.N; s++ {
 		best := math.Inf(1)
 		bestA := 0
 		for a := 0; a < m.A; a++ {
-			q := cost.At(s, a) + alpha*m.P[a].Row(s).Dot(v)
+			q := cost.At(s, a) + alpha*m.P[a].RowDot(s, v)
 			if q < best {
 				best = q
 				bestA = a
@@ -158,18 +159,21 @@ func SolveLP1(m *Model, metric string, alpha float64) (mat.Vector, error) {
 	for s := 0; s < m.N; s++ {
 		prob.Obj[s] = 1
 	}
-	coeffs := make([]float64, m.N)
+	var idx []int
+	var val []float64
 	for s := 0; s < m.N; s++ {
 		for a := 0; a < m.A; a++ {
-			for j := range coeffs {
-				coeffs[j] = 0
+			// Row v(s) − α Σ_j P_a(s,j) v(j) ≤ cost(s,a), assembled from the
+			// sparse transition row (AddConstraintNZ merges the duplicate at
+			// j = s).
+			idx = append(idx[:0], s)
+			val = append(val[:0], 1)
+			cols, vals := m.P[a].RowNZ(s)
+			for k, j := range cols {
+				idx = append(idx, j)
+				val = append(val, -alpha*vals[k])
 			}
-			coeffs[s] += 1
-			row := m.P[a].Row(s)
-			for j, p := range row {
-				coeffs[j] -= alpha * p
-			}
-			prob.AddConstraint(fmt.Sprintf("v[%d]≤q(%d,%d)", s, s, a), coeffs, lp.LE, cost.At(s, a))
+			prob.AddConstraintNZ(fmt.Sprintf("v[%d]≤q(%d,%d)", s, s, a), idx, val, lp.LE, cost.At(s, a))
 		}
 	}
 	sol, err := lp.Solve(prob)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// twoStateSP builds a minimal valid two-state/two-command provider with
+// distinguishable dynamics for composition tests.
+func twoStateSP(name string, wake float64) *ServiceProvider {
+	return &ServiceProvider{
+		Name:     name,
+		States:   []string{name + "0", name + "1"},
+		Commands: []string{name + "A", name + "B"},
+		P: []*mat.Matrix{
+			mat.FromRows([][]float64{{1, 0}, {wake, 1 - wake}}),
+			mat.FromRows([][]float64{{0.5, 0.5}, {0, 1}}),
+		},
+		ServiceRate: mat.FromRows([][]float64{{0.5, 0}, {0, 0}}),
+		Power:       mat.FromRows([][]float64{{1, 2}, {3, 4}}),
+	}
+}
+
+// TestCompositeJointIndexing pins the documented index order: component 0
+// varies fastest in both the joint state and the joint command index, and
+// joint names join the component names with "+".
+func TestCompositeJointIndexing(t *testing.T) {
+	p0 := twoStateSP("x", 0.1)
+	p1 := twoStateSP("y", 0.2)
+	c, err := CompositeSP("joint", []*ServiceProvider{p0, p1}, func([]int, []int) float64 { return 0 })
+	if err != nil {
+		t.Fatalf("CompositeSP: %v", err)
+	}
+	if c.N() != 4 || c.A() != 4 {
+		t.Fatalf("joint is %d states × %d commands, want 4×4", c.N(), c.A())
+	}
+	// Joint index s = s0 + 2·s1; state names follow the same order.
+	for s1 := 0; s1 < 2; s1++ {
+		for s0 := 0; s0 < 2; s0++ {
+			joint := s0 + 2*s1
+			want := p0.States[s0] + "+" + p1.States[s1]
+			if c.States[joint] != want {
+				t.Errorf("state %d named %q, want %q", joint, c.States[joint], want)
+			}
+		}
+	}
+	for c1 := 0; c1 < 2; c1++ {
+		for c0 := 0; c0 < 2; c0++ {
+			joint := c0 + 2*c1
+			want := p0.Commands[c0] + "+" + p1.Commands[c1]
+			if c.Commands[joint] != want {
+				t.Errorf("command %d named %q, want %q", joint, c.Commands[joint], want)
+			}
+		}
+	}
+	// Transition probabilities factor: P_joint((s0,s1)→(t0,t1) | (c0,c1)) =
+	// P0(s0→t0|c0) · P1(s1→t1|c1).
+	for cj := 0; cj < 4; cj++ {
+		c0, c1 := cj%2, cj/2
+		for s := 0; s < 4; s++ {
+			s0, s1 := s%2, s/2
+			for d := 0; d < 4; d++ {
+				d0, d1 := d%2, d/2
+				want := p0.P[c0].At(s0, d0) * p1.P[c1].At(s1, d1)
+				if got := c.P[cj].At(s, d); math.Abs(got-want) > 1e-12 {
+					t.Errorf("P[%d](%d,%d) = %g, want %g", cj, s, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompositePowerAdditivity: joint power is the sum of the component
+// powers at the decoded (state, command) pairs — paper Section VII's
+// additive-power assumption.
+func TestCompositePowerAdditivity(t *testing.T) {
+	p0 := twoStateSP("x", 0.1)
+	p1 := twoStateSP("y", 0.2)
+	p2 := twoStateSP("z", 0.3)
+	parts := []*ServiceProvider{p0, p1, p2}
+	c, err := CompositeSP("triple", parts, func([]int, []int) float64 { return 0.25 })
+	if err != nil {
+		t.Fatalf("CompositeSP: %v", err)
+	}
+	for s := 0; s < c.N(); s++ {
+		for cmd := 0; cmd < c.A(); cmd++ {
+			want := 0.0
+			si, ci := s, cmd
+			for _, p := range parts {
+				want += p.Power.At(si%p.N(), ci%p.A())
+				si /= p.N()
+				ci /= p.A()
+			}
+			if got := c.Power.At(s, cmd); math.Abs(got-want) > 1e-12 {
+				t.Errorf("power(%d,%d) = %g, want %g", s, cmd, got, want)
+			}
+		}
+	}
+}
+
+// TestCompositeRateCombiner: the caller's combiner defines the joint service
+// rate and receives correctly decoded per-part indices.
+func TestCompositeRateCombiner(t *testing.T) {
+	p0 := twoStateSP("x", 0.1)
+	p1 := twoStateSP("y", 0.2)
+	c, err := CompositeSP("rated", []*ServiceProvider{p0, p1},
+		func(states, cmds []int) float64 {
+			if len(states) != 2 || len(cmds) != 2 {
+				t.Fatalf("combiner got %d states, %d cmds", len(states), len(cmds))
+			}
+			// Deterministic fingerprint of the decoded indices, in [0,1].
+			return float64(states[0]+2*states[1])/8 + float64(cmds[0]+2*cmds[1])/8
+		})
+	if err != nil {
+		t.Fatalf("CompositeSP: %v", err)
+	}
+	for s := 0; s < 4; s++ {
+		for cmd := 0; cmd < 4; cmd++ {
+			want := float64(s)/8 + float64(cmd)/8
+			if got := c.ServiceRate.At(s, cmd); math.Abs(got-want) > 1e-12 {
+				t.Errorf("rate(%d,%d) = %g, want %g (index decode broken)", s, cmd, got, want)
+			}
+		}
+	}
+}
+
+// TestCompositeErrorPaths covers every rejection branch of CompositeSP.
+func TestCompositeErrorPaths(t *testing.T) {
+	ok := func([]int, []int) float64 { return 0.5 }
+	if _, err := CompositeSP("e", nil, ok); err == nil {
+		t.Errorf("empty part list accepted")
+	}
+	if _, err := CompositeSP("e", []*ServiceProvider{twoStateSP("x", 0.1)}, nil); err == nil {
+		t.Errorf("nil rate combiner accepted")
+	}
+	bad := twoStateSP("bad", 0.1)
+	bad.P[0].Set(0, 0, 0.7) // row no longer sums to 1
+	if _, err := CompositeSP("e", []*ServiceProvider{bad}, ok); err == nil {
+		t.Errorf("invalid component accepted")
+	}
+	if _, err := CompositeSP("e", []*ServiceProvider{twoStateSP("x", 0.1)},
+		func([]int, []int) float64 { return 1.5 }); err == nil {
+		t.Errorf("service rate > 1 accepted")
+	}
+	if _, err := CompositeSP("e", []*ServiceProvider{twoStateSP("x", 0.1)},
+		func([]int, []int) float64 { return -0.1 }); err == nil {
+		t.Errorf("negative service rate accepted")
+	}
+	// Error messages should carry the offending joint names.
+	_, err := CompositeSP("e", []*ServiceProvider{twoStateSP("x", 0.1)},
+		func(states, cmds []int) float64 {
+			if states[0] == 1 && cmds[0] == 1 {
+				return 2
+			}
+			return 0
+		})
+	if err == nil || !strings.Contains(err.Error(), "x1") || !strings.Contains(err.Error(), "xB") {
+		t.Errorf("rate error %v does not name the joint state/command", err)
+	}
+}
+
+// TestCompositeSystemEndToEnd compiles a 2-part composite into a full
+// system and checks the composed model stays consistent: stochastic sparse
+// transitions and additive power surfaced through the model metrics.
+func TestCompositeSystemEndToEnd(t *testing.T) {
+	parts := []*ServiceProvider{twoStateSP("x", 0.1), twoStateSP("y", 0.2)}
+	sp, err := CompositeSP("pair", parts, func(states, cmds []int) float64 {
+		if states[0] == 1 || states[1] == 1 {
+			return 0.5
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatalf("CompositeSP: %v", err)
+	}
+	sys := &System{Name: "pair-sys", SP: sp, SR: TwoStateSR("w", 0.1, 0.3), QueueCap: 2}
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m.N != sp.N()*2*3 || m.A != sp.A() {
+		t.Fatalf("model is %d×%d, want %d×%d", m.N, m.A, sp.N()*2*3, sp.A())
+	}
+	for a, p := range m.P {
+		if err := p.CheckStochastic(1e-9); err != nil {
+			t.Errorf("command %d: %v", a, err)
+		}
+	}
+	power, _ := m.Metric(MetricPower)
+	for i := 0; i < m.N; i++ {
+		st := sys.StateOf(i)
+		for cmd := 0; cmd < m.A; cmd++ {
+			if got := power.At(i, cmd); got != sp.Power.At(st.SP, cmd) {
+				t.Errorf("model power(%d,%d) = %g, want %g", i, cmd, got, sp.Power.At(st.SP, cmd))
+			}
+		}
+	}
+}

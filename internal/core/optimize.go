@@ -97,72 +97,21 @@ var ErrInfeasible = errors.New("core: constraints infeasible")
 // (LP2 with the balance equations; LP3/LP4 when Bounds are present) and
 // extracting the optimal Markov stationary policy.
 func Optimize(m *Model, opts Options) (*Result, error) {
-	if opts.Alpha < 0 || opts.Alpha >= 1 {
-		return nil, fmt.Errorf("core: discount factor %g outside [0,1)", opts.Alpha)
-	}
 	if opts.Objective.Metric == "" {
 		opts.Objective.Metric = MetricPenalty
-	}
-	objTable, err := m.Metric(opts.Objective.Metric)
-	if err != nil {
-		return nil, err
-	}
-	q0 := opts.Initial
-	if q0 == nil {
-		q0 = Uniform(m.N)
-	}
-	if len(q0) != m.N {
-		return nil, fmt.Errorf("core: initial distribution has %d entries, want %d", len(q0), m.N)
-	}
-	if !q0.IsDistribution(1e-9) {
-		return nil, fmt.Errorf("core: initial distribution does not sum to 1")
 	}
 	if opts.UnvisitedCommand < 0 || opts.UnvisitedCommand >= m.A {
 		return nil, fmt.Errorf("core: unvisited command %d outside [0,%d)", opts.UnvisitedCommand, m.A)
 	}
-
-	nv := m.N * m.A
-	prob := lp.NewProblem(opts.Objective.Sense, nv)
-	for s := 0; s < m.N; s++ {
-		for a := 0; a < m.A; a++ {
-			prob.Obj[s*m.A+a] = objTable.At(s, a)
-		}
+	// q0 is resolved through the same helper BuildFrequencyLP uses, so the
+	// LP and the final policy evaluation agree on the initial distribution.
+	q0, err := initialDistribution(m, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	// Balance equations (LP2, scaled by 1−α):
-	//   Σ_a y(j,a) − α Σ_s Σ_a p_{s,j}(a) y(s,a) = (1−α) q0_j.
-	alpha := opts.Alpha
-	coeffs := make([]float64, nv)
-	for j := 0; j < m.N; j++ {
-		for i := range coeffs {
-			coeffs[i] = 0
-		}
-		for a := 0; a < m.A; a++ {
-			coeffs[j*m.A+a] += 1
-			pa := m.P[a]
-			for s := 0; s < m.N; s++ {
-				if p := pa.At(s, j); p != 0 {
-					coeffs[s*m.A+a] -= alpha * p
-				}
-			}
-		}
-		prob.AddConstraint(fmt.Sprintf("balance[%d]", j), coeffs, lp.EQ, (1-alpha)*q0[j])
-	}
-
-	for _, b := range opts.Bounds {
-		table, err := m.Metric(b.Metric)
-		if err != nil {
-			return nil, err
-		}
-		for i := range coeffs {
-			coeffs[i] = 0
-		}
-		for s := 0; s < m.N; s++ {
-			for a := 0; a < m.A; a++ {
-				coeffs[s*m.A+a] = table.At(s, a)
-			}
-		}
-		prob.AddConstraint(fmt.Sprintf("%s %s %g", b.Metric, b.Rel, b.Value), coeffs, b.Rel, b.Value)
+	prob, err := BuildFrequencyLP(m, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	sol, basis, err := lp.SolveWithBasis(prob, opts.WarmBasis)
@@ -216,13 +165,112 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 	res.Objective = res.Averages[opts.Objective.Metric]
 
 	if !opts.SkipEvaluation {
-		ev, err := Evaluate(m, policy, q0, alpha)
+		ev, err := Evaluate(m, policy, q0, opts.Alpha)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating extracted policy: %w", err)
 		}
 		res.Eval = ev
 	}
 	return res, nil
+}
+
+// BuildFrequencyLP assembles the state–action frequency linear program of
+// Appendix A (LP2; LP3/LP4 when Bounds are present) for model m: one
+// variable per (state, command) pair, the balance equalities
+//
+//	Σ_a y(j,a) − α Σ_s Σ_a p_{s,j}(a) y(s,a) = (1−α) q0_j,
+//
+// and one row per metric bound. Rows are assembled directly in sparse form
+// from the model's CSR transition structure — the balance column of (s,a)
+// is e_s − α·P_a(s,·)ᵀ, so row j's entries come straight from the rows of
+// the transposed chains — and the solver stores the matrix column-sparse,
+// so no dense |S·A|-wide coefficient vector is ever materialized. Optimize
+// is the primary caller; the function is exported so benchmarks and parity
+// tests can run the identical LP through other solvers (e.g. lp.SolveDense).
+func BuildFrequencyLP(m *Model, opts Options) (*lp.Problem, error) {
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("core: discount factor %g outside [0,1)", opts.Alpha)
+	}
+	if opts.Objective.Metric == "" {
+		opts.Objective.Metric = MetricPenalty
+	}
+	objTable, err := m.Metric(opts.Objective.Metric)
+	if err != nil {
+		return nil, err
+	}
+	q0, err := initialDistribution(m, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	nv := m.N * m.A
+	prob := lp.NewProblem(opts.Objective.Sense, nv)
+	for s := 0; s < m.N; s++ {
+		for a := 0; a < m.A; a++ {
+			prob.Obj[s*m.A+a] = objTable.At(s, a)
+		}
+	}
+
+	// Transposed chains give, per state j, the incoming transitions
+	// (s, p_{s,j}(a)) each balance row needs; one O(nnz) transpose per
+	// command replaces an O(N²) column scan per row.
+	alpha := opts.Alpha
+	pts := make([]*mat.CSR, m.A)
+	for a := 0; a < m.A; a++ {
+		pts[a] = m.P[a].T()
+	}
+	var idx []int
+	var val []float64
+	for j := 0; j < m.N; j++ {
+		idx = idx[:0]
+		val = val[:0]
+		for a := 0; a < m.A; a++ {
+			idx = append(idx, j*m.A+a)
+			val = append(val, 1)
+			cols, vals := pts[a].RowNZ(j)
+			for k, s := range cols {
+				idx = append(idx, s*m.A+a)
+				val = append(val, -alpha*vals[k])
+			}
+		}
+		prob.AddConstraintNZ(fmt.Sprintf("balance[%d]", j), idx, val, lp.EQ, (1-alpha)*q0[j])
+	}
+
+	for _, b := range opts.Bounds {
+		table, err := m.Metric(b.Metric)
+		if err != nil {
+			return nil, err
+		}
+		idx = idx[:0]
+		val = val[:0]
+		for s := 0; s < m.N; s++ {
+			for a := 0; a < m.A; a++ {
+				if v := table.At(s, a); v != 0 {
+					idx = append(idx, s*m.A+a)
+					val = append(val, v)
+				}
+			}
+		}
+		prob.AddConstraintNZ(fmt.Sprintf("%s %s %g", b.Metric, b.Rel, b.Value), idx, val, b.Rel, b.Value)
+	}
+	return prob, nil
+}
+
+// initialDistribution resolves and validates Options.Initial (nil selects
+// the uniform distribution); it is the single owner of the q0 checks shared
+// by Optimize and BuildFrequencyLP.
+func initialDistribution(m *Model, opts Options) (mat.Vector, error) {
+	q0 := opts.Initial
+	if q0 == nil {
+		return Uniform(m.N), nil
+	}
+	if len(q0) != m.N {
+		return nil, fmt.Errorf("core: initial distribution has %d entries, want %d", len(q0), m.N)
+	}
+	if !q0.IsDistribution(1e-9) {
+		return nil, fmt.Errorf("core: initial distribution does not sum to 1")
+	}
+	return q0, nil
 }
 
 // HorizonToAlpha converts an expected session length in slices (the paper's

@@ -66,7 +66,7 @@ func TestPolicyChainComposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Chain: %v", err)
 	}
-	if chain.P().MaxAbsDiff(m.P[0]) > 1e-12 {
+	if chain.Sparse().MaxAbsDiff(m.P[0]) > 1e-12 {
 		t.Errorf("constant-policy chain differs from P[0]")
 	}
 	// A 50/50 policy gives the average matrix (Eq. 5).
@@ -80,7 +80,7 @@ func TestPolicyChainComposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Chain: %v", err)
 	}
-	want := m.P[0].Clone().Scale(0.5).AddMatrixScaled(0.5, m.P[1])
+	want := m.P[0].Dense().Scale(0.5).AddMatrixScaled(0.5, m.P[1].Dense())
 	if chain2.P().MaxAbsDiff(want) > 1e-12 {
 		t.Errorf("mixed-policy chain wrong")
 	}

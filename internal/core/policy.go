@@ -99,7 +99,9 @@ func (p *Policy) CommandDist(s int) mat.Vector { return p.M.Row(s) }
 func (p *Policy) ModeCommand(s int) int { return p.M.Row(s).ArgMax() }
 
 // Chain composes the model's per-command transition matrices with the
-// policy: P^π = Σ_a π(s,a) P_a(s,·) rowwise (paper Eq. 5).
+// policy: P^π = Σ_a π(s,a) P_a(s,·) rowwise (paper Eq. 5). The composition
+// stays sparse end to end: weighted sparse rows accumulate into a triplet
+// builder and the chain is validated on its CSR form.
 func (p *Policy) Chain(m *Model) (*markov.Chain, error) {
 	if p.N() != m.N || p.A() != m.A {
 		return nil, fmt.Errorf("core: policy is %dx%d, model wants %dx%d", p.N(), p.A(), m.N, m.A)
@@ -107,19 +109,21 @@ func (p *Policy) Chain(m *Model) (*markov.Chain, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	pm := mat.NewMatrix(m.N, m.N)
+	trip := mat.NewTriplet(m.N, m.N)
 	for s := 0; s < m.N; s++ {
-		row := pm.Row(s)
 		dist := p.CommandDist(s)
 		for a := 0; a < m.A; a++ {
 			w := dist[a]
 			if w == 0 {
 				continue
 			}
-			row.AddScaled(w, m.P[a].Row(s))
+			cols, vals := m.P[a].RowNZ(s)
+			for k, j := range cols {
+				trip.Add(s, j, w*vals[k])
+			}
 		}
 	}
-	return markov.New(pm, 1e-7)
+	return markov.NewCSR(trip.ToCSR(), 1e-7)
 }
 
 // MetricVector collapses an N×A metric table under the policy:

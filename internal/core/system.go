@@ -128,8 +128,13 @@ type Model struct {
 	Sys *System
 	// N is the number of composed states; A the number of commands.
 	N, A int
-	// P[a] is the N×N transition matrix of the system under command a.
-	P []*mat.Matrix
+	// P[a] is the N×N transition matrix of the system under command a, in
+	// compressed-sparse-row form. Composed DPM chains are extremely sparse
+	// (the queue law of Eq. 3 is banded, the component chains have tiny
+	// out-degrees), so a dense |S|×|S| matrix per command is never
+	// materialized — on large compositions that dense family alone would
+	// dwarf every other allocation in the pipeline.
+	P []*mat.CSR
 	// Metrics maps metric name → N×A value table.
 	Metrics map[string]*mat.Matrix
 }
@@ -151,12 +156,15 @@ func (sys *System) Build() (*Model, error) {
 		Sys:     sys,
 		N:       n,
 		A:       a,
-		P:       make([]*mat.Matrix, a),
+		P:       make([]*mat.CSR, a),
 		Metrics: make(map[string]*mat.Matrix),
 	}
 
+	// Each command's composed matrix is accumulated as triplets and
+	// compressed to CSR; the dense form is never materialized. Stochasticity
+	// is validated directly on the sparse rows.
 	for cmd := 0; cmd < a; cmd++ {
-		pm := mat.NewMatrix(n, n)
+		trip := mat.NewTriplet(n, n)
 		for p := 0; p < nsp; p++ {
 			b := sys.SP.ServiceRate.At(p, cmd)
 			for r := 0; r < nsr; r++ {
@@ -170,7 +178,6 @@ func (sys *System) Build() (*Model, error) {
 				}
 				for q := 0; q < nq; q++ {
 					i := sys.Index(State{SP: p, SR: r, Q: q})
-					row := pm.Row(i)
 					for rNext := 0; rNext < nsr; rNext++ {
 						srP := sys.SR.P.At(r, rNext)
 						if srP == 0 {
@@ -188,13 +195,14 @@ func (sys *System) Build() (*Model, error) {
 									continue
 								}
 								j := sys.Index(State{SP: pNext, SR: rNext, Q: qNext})
-								row[j] += base * qrow[qNext]
+								trip.Add(i, j, base*qrow[qNext])
 							}
 						}
 					}
 				}
 			}
 		}
+		pm := trip.ToCSR()
 		if err := pm.CheckStochastic(1e-9); err != nil {
 			return nil, fmt.Errorf("core: composed matrix for command %q: %w", sys.SP.Commands[cmd], err)
 		}

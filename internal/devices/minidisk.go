@@ -1,0 +1,82 @@
+package devices
+
+import (
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// MiniDiskSP builds a reduced three-state disk (active / idle / sleep, with
+// commands run / sleep) for composition studies: it keeps the Travelstar
+// model's qualitative shape — geometric wake-up, deep sleep an order of
+// magnitude cheaper than active, service only while active and commanded to
+// run — at a size where products of several disks stay enumerable. The
+// full 11-state Table-I model is DiskSP; this one exists for multi-device
+// `CompositeSP` networks (paper Section VII), where the joint state space
+// grows as the product of the component sizes.
+func MiniDiskSP(name string) *core.ServiceProvider {
+	const (
+		active = 0
+		idle   = 1
+		sleep  = 2
+	)
+	return &core.ServiceProvider{
+		Name:     name,
+		States:   []string{"active", "idle", "sleep"},
+		Commands: []string{"run", "sleep"},
+		P: []*mat.Matrix{
+			// run: idle wakes in one slice, sleep wakes geometrically
+			// (expected 20 slices).
+			mat.FromRows([][]float64{
+				{1, 0, 0},
+				{1, 0, 0},
+				{0.05, 0, 0.95},
+			}),
+			// sleep: active spins down geometrically (expected 2 slices),
+			// idle drops immediately, sleep stays.
+			mat.FromRows([][]float64{
+				{0.1, 0, 0.9},
+				{0, 0, 1},
+				{0, 0, 1},
+			}),
+		},
+		ServiceRate: mat.FromRows([][]float64{
+			{0.5, 0},
+			{0, 0},
+			{0, 0},
+		}),
+		Power: mat.FromRows([][]float64{
+			{2.5, 2.5},
+			{1.0, 1.0},
+			{0.1, 0.1},
+		}),
+	}
+}
+
+// MultiDiskSystem composes k mini-disks into one power-managed system with
+// a shared request queue of the given capacity: the Section VII
+// "network of interacting service providers" scenario. The joint service
+// rate saturates like parallel servers — each active disk independently
+// completes a request with its own rate, and the queue drains at most one
+// request per slice, so b_joint = 1 − Π(1 − b_i).
+func MultiDiskSystem(k, queueCap int, sr *core.ServiceRequester) (*core.System, error) {
+	parts := make([]*core.ServiceProvider, k)
+	for i := range parts {
+		parts[i] = MiniDiskSP("disk")
+	}
+	sp, err := core.CompositeSP("multidisk", parts, func(states, cmds []int) float64 {
+		miss := 1.0
+		for i := range states {
+			miss *= 1 - parts[i].ServiceRate.At(states[i], cmds[i])
+		}
+		return 1 - miss
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.System{
+		Name:     "multidisk",
+		SP:       sp,
+		SR:       sr,
+		QueueCap: queueCap,
+	}, nil
+}

@@ -2,19 +2,32 @@
 // policy-optimization problems LP2/LP3/LP4 of Benini et al. (TCAD 1999,
 // Appendix A).
 //
-// The paper used PCx, an interior-point research code. Problem instances in
-// this reproduction are small (at most a few hundred variables and rows), so
-// we substitute a dense two-phase primal simplex method. Policy-optimization
-// LPs are numerically stiff — transition probabilities span four orders of
-// magnitude and discount factors reach 1−10⁻⁶ — so the implementation keeps
-// the original standard-form data and periodically refactorizes: every few
-// dozen pivots (and at phase boundaries) the whole tableau is recomputed
-// exactly from the current basis via an LU solve, which eliminates the
-// error accumulation that plain tableau pivoting suffers on such systems.
-// Dantzig pricing is used first with a Bland's-rule fallback that guarantees
-// termination on degenerate instances, and every reported solution is
-// verified against the original constraints (with one stricter retry before
-// giving up with a Numerical status).
+// The paper used PCx, an interior-point research code. This reproduction
+// substitutes a two-phase **revised simplex** method: the constraint matrix
+// is stored column-sparse (policy LPs have one column per (state, command)
+// pair with only a handful of nonzeros each — the queue law of Eq. 3 is
+// banded and the component chains have tiny out-degrees), the basis is kept
+// as a dense LU factorization of only the m×m basis matrix (internal/mat's
+// solver), updated between refactorizations with product-form eta vectors,
+// and pricing and ratio tests walk sparse columns. Cost per pivot is
+// O(nnz(A) + m²) instead of the O(rows × cols) of a full tableau, and
+// memory is O(nnz + m²) instead of O(rows × cols) — the difference between
+// thrashing and tractable on large composed systems.
+//
+// Policy-optimization LPs are numerically stiff — transition probabilities
+// span four orders of magnitude and discount factors reach 1−10⁻⁶ — so the
+// solver keeps the original standard-form data and refactorizes the basis
+// every few dozen pivots, which eliminates the error accumulation that
+// incremental updates suffer on such systems. Dantzig pricing is used first
+// with a Bland's-rule fallback that guarantees termination on degenerate
+// instances, and every reported solution is verified against the original
+// constraints (with one stricter retry before giving up with a Numerical
+// status).
+//
+// The previous full-tableau dense simplex is retained as SolveDense — a
+// reference implementation for parity tests and the performance baseline
+// for benchmarks; both solvers share the same standard form, tolerances and
+// Basis layout, so bases exported by one are meaningful to the other.
 //
 // Problems are stated over nonnegative variables:
 //
@@ -27,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/mat"
 )
@@ -63,12 +77,34 @@ func (r Rel) String() string {
 	return "?"
 }
 
-// Constraint is one row a'x (Rel) b of a problem.
+// Constraint is one row a'x (Rel) b of a problem, stored sparsely: Cols
+// holds the sorted indices of the nonzero coefficients and Vals the
+// corresponding values. Build rows through AddConstraint (dense input) or
+// AddConstraintNZ (sparse input); both normalize into this form.
 type Constraint struct {
-	Name   string
-	Coeffs []float64
-	Rel    Rel
-	RHS    float64
+	Name string
+	Cols []int
+	Vals []float64
+	Rel  Rel
+	RHS  float64
+}
+
+// Dot returns the row activity a'x for a dense x.
+func (c *Constraint) Dot(x []float64) float64 {
+	s := 0.0
+	for k, j := range c.Cols {
+		s += c.Vals[k] * x[j]
+	}
+	return s
+}
+
+// Coeff returns the coefficient of variable j (zero if not stored).
+func (c *Constraint) Coeff(j int) float64 {
+	k := sort.SearchInts(c.Cols, j)
+	if k < len(c.Cols) && c.Cols[k] == j {
+		return c.Vals[k]
+	}
+	return 0
 }
 
 // Problem is a linear program over nonnegative variables.
@@ -88,15 +124,47 @@ func NewProblem(sense Sense, n int) *Problem {
 // NumVars returns the number of structural variables.
 func (p *Problem) NumVars() int { return len(p.Obj) }
 
-// AddConstraint appends a constraint row. It panics if the coefficient
-// vector length does not match the number of variables.
+// AddConstraint appends a constraint row from a dense coefficient vector.
+// It panics if the vector length does not match the number of variables.
 func (p *Problem) AddConstraint(name string, coeffs []float64, rel Rel, rhs float64) {
 	if len(coeffs) != len(p.Obj) {
 		panic(fmt.Sprintf("lp: constraint %q has %d coeffs, want %d", name, len(coeffs), len(p.Obj)))
 	}
-	c := make([]float64, len(coeffs))
-	copy(c, coeffs)
-	p.Cons = append(p.Cons, Constraint{Name: name, Coeffs: c, Rel: rel, RHS: rhs})
+	var cols []int
+	var vals []float64
+	for j, v := range coeffs {
+		if v != 0 {
+			cols = append(cols, j)
+			vals = append(vals, v)
+		}
+	}
+	p.Cons = append(p.Cons, Constraint{Name: name, Cols: cols, Vals: vals, Rel: rel, RHS: rhs})
+}
+
+// AddConstraintNZ appends a constraint row from sparse (index, value) pairs,
+// the assembly path used when rows are derived from sparse transition
+// structure and materializing a dense coefficient vector per row would cost
+// O(vars × rows). Duplicate indices are summed, entries that cancel to zero
+// are dropped, and the input slices are not retained. It panics on an index
+// outside [0, NumVars()) or mismatched slice lengths.
+func (p *Problem) AddConstraintNZ(name string, cols []int, vals []float64, rel Rel, rhs float64) {
+	if len(cols) != len(vals) {
+		panic(fmt.Sprintf("lp: constraint %q has %d indices but %d values", name, len(cols), len(vals)))
+	}
+	n := len(p.Obj)
+	for _, j := range cols {
+		if j < 0 || j >= n {
+			panic(fmt.Sprintf("lp: constraint %q index %d outside [0,%d)", name, j, n))
+		}
+	}
+	// A one-row triplet does the sort/merge/drop-zeros compression; its
+	// output arrays are freshly allocated, so the row can alias them.
+	t := mat.NewTriplet(1, n)
+	for k, j := range cols {
+		t.Add(0, j, vals[k])
+	}
+	cc, vv := t.ToCSR().RowNZ(0)
+	p.Cons = append(p.Cons, Constraint{Name: name, Cols: cc, Vals: vv, Rel: rel, RHS: rhs})
 }
 
 // Status reports the outcome of a solve.
@@ -149,7 +217,7 @@ const (
 	zeroTol  = 1e-11 // clamp for tiny negative basic values
 )
 
-// Solve solves the problem with the two-phase primal simplex method.
+// Solve solves the problem with the two-phase revised simplex method.
 // The returned error is non-nil (wrapping ErrNotOptimal) exactly when the
 // status is not Optimal; callers that distinguish infeasible from unbounded
 // should inspect Solution.Status.
@@ -158,73 +226,46 @@ func Solve(p *Problem) (*Solution, error) {
 	return sol, err
 }
 
-func solveOnce(p *Problem, conservative bool) (*Solution, *tableau) {
-	t, preStatus := newTableau(p, conservative)
-	if preStatus != Optimal {
-		return &Solution{Status: preStatus}, nil
-	}
-	sol := t.solve()
-	if sol.Status != Optimal {
-		return sol, nil
-	}
-	if !t.verify(sol.X) {
-		sol.Status = Numerical
-	}
-	return sol, t
-}
-
-// tableau is the dense simplex tableau plus the immutable standard-form
-// data it is periodically recomputed from. Column layout:
+// stdForm is the shared standard form both solvers run on. Column layout:
 //
 //	[0, nv)            structural variables
 //	[nv, nv+ns)        slack/surplus variables
 //	[nv+ns, nTot)      artificial variables (phase 1 only)
 //
-// rows[i] has length nTot+1; the last entry is the current basic value.
-// obj holds the reduced-cost row of the active phase (last entry: negated
-// objective value).
-type tableau struct {
+// Rows with negative right-hand sides are sign-flipped so b >= 0, GE rows
+// get a surplus plus an artificial, EQ rows an artificial, LE rows a slack
+// that doubles as the initial basic variable. cols is the column-sparse
+// constraint matrix including slack and artificial columns.
+type stdForm struct {
 	nv, ns, na int
 	nTot       int
 	m          int
 
-	origA *mat.Matrix // m × nTot, immutable standard form
-	origB mat.Vector  // length m, >= 0
-	cost1 mat.Vector  // phase-1 costs (1 on artificials)
-	cost2 mat.Vector  // phase-2 costs (minimization form)
+	a     *mat.CSC   // m × nTot constraint matrix, column-compressed
+	b     mat.Vector // length m, >= 0
+	cost1 mat.Vector // phase-1 costs (1 on artificials)
+	cost2 mat.Vector // phase-2 costs (minimization form)
 
-	rows  [][]float64
-	obj   []float64
-	basis []int
-
-	iterations   int
-	refreshEvery int
-	blandAlways  bool
+	initBasis []int // slack/artificial basis, one per row
 
 	// problem reference for the final feasibility verification
 	prob *Problem
 }
 
-// newTableau builds the phase-1 tableau. It returns a non-Optimal status if
+// newStdForm normalizes the problem. It returns a non-Optimal status if
 // trivial presolve detects infeasibility (all-zero row with impossible RHS).
-func newTableau(p *Problem, conservative bool) (*tableau, Status) {
+func newStdForm(p *Problem) (*stdForm, Status) {
 	nv := p.NumVars()
 
 	type rowSpec struct {
-		coeffs []float64
-		rel    Rel
-		rhs    float64
+		cols []int
+		vals []float64
+		rel  Rel
+		rhs  float64
 	}
 	var specs []rowSpec
 	for _, c := range p.Cons {
-		allZero := true
-		for _, v := range c.Coeffs {
-			if v != 0 {
-				allZero = false
-				break
-			}
-		}
-		if allZero {
+		if len(c.Cols) == 0 {
 			ok := false
 			switch c.Rel {
 			case LE:
@@ -239,403 +280,108 @@ func newTableau(p *Problem, conservative bool) (*tableau, Status) {
 			}
 			continue
 		}
-		specs = append(specs, rowSpec{c.Coeffs, c.Rel, c.RHS})
+		spec := rowSpec{cols: c.Cols, vals: c.Vals, rel: c.Rel, rhs: c.RHS}
+		if spec.rhs < 0 {
+			flipped := make([]float64, len(spec.vals))
+			for k, v := range spec.vals {
+				flipped[k] = -v
+			}
+			spec.vals = flipped
+			spec.rhs = -spec.rhs
+			switch spec.rel {
+			case LE:
+				spec.rel = GE
+			case GE:
+				spec.rel = LE
+			}
+		}
+		specs = append(specs, spec)
 	}
 
 	m := len(specs)
-	type norm struct {
-		coeffs []float64
-		rhs    float64
-		slack  int // +1 slack, -1 surplus, 0 none
-		art    bool
-	}
-	normed := make([]norm, m)
 	ns, na := 0, 0
-	for i, s := range specs {
-		coeffs := make([]float64, nv)
-		copy(coeffs, s.coeffs)
-		rhs := s.rhs
-		rel := s.rel
-		if rhs < 0 {
-			for j := range coeffs {
-				coeffs[j] = -coeffs[j]
-			}
-			rhs = -rhs
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		n := norm{coeffs: coeffs, rhs: rhs}
-		switch rel {
+	for _, s := range specs {
+		switch s.rel {
 		case LE:
-			n.slack = 1
 			ns++
 		case GE:
-			n.slack = -1
 			ns++
-			n.art = true
 			na++
 		case EQ:
-			n.art = true
 			na++
 		}
-		normed[i] = n
 	}
-
 	nTot := nv + ns + na
-	t := &tableau{
+	sf := &stdForm{
 		nv: nv, ns: ns, na: na, nTot: nTot, m: m,
-		origA:        mat.NewMatrix(m, nTot),
-		origB:        mat.NewVector(m),
-		cost1:        mat.NewVector(nTot),
-		cost2:        mat.NewVector(nTot),
-		basis:        make([]int, m),
-		refreshEvery: 40,
-		prob:         p,
-	}
-	if conservative {
-		t.refreshEvery = 8
-		t.blandAlways = true
+		b:         mat.NewVector(m),
+		cost1:     mat.NewVector(nTot),
+		cost2:     mat.NewVector(nTot),
+		initBasis: make([]int, m),
+		prob:      p,
 	}
 
+	// Assemble [A | slack | artificial] as triplets and compress to CSC —
+	// columns are what every solver access walks (pricing, basis assembly,
+	// FTRAN scatter).
+	trip := mat.NewTriplet(m, nTot)
+	for i, s := range specs {
+		sf.b[i] = s.rhs
+		for k, j := range s.cols {
+			trip.Add(i, j, s.vals[k])
+		}
+	}
 	slackCol := nv
 	artCol := nv + ns
-	for i, n := range normed {
-		for j, v := range n.coeffs {
-			t.origA.Set(i, j, v)
-		}
-		t.origB[i] = n.rhs
-		switch {
-		case n.slack == 1 && !n.art:
-			t.origA.Set(i, slackCol, 1)
-			t.basis[i] = slackCol
+	for i, s := range specs {
+		switch s.rel {
+		case LE:
+			trip.Add(i, slackCol, 1)
+			sf.initBasis[i] = slackCol
 			slackCol++
-		case n.slack == -1 && n.art:
-			t.origA.Set(i, slackCol, -1)
+		case GE:
+			trip.Add(i, slackCol, -1)
 			slackCol++
-			t.origA.Set(i, artCol, 1)
-			t.basis[i] = artCol
+			trip.Add(i, artCol, 1)
+			sf.initBasis[i] = artCol
 			artCol++
-		default: // EQ with artificial
-			t.origA.Set(i, artCol, 1)
-			t.basis[i] = artCol
+		case EQ:
+			trip.Add(i, artCol, 1)
+			sf.initBasis[i] = artCol
 			artCol++
 		}
 	}
+	sf.a = trip.ToCSC()
 
 	for j := 0; j < nv; j++ {
 		if p.Sense == Minimize {
-			t.cost2[j] = p.Obj[j]
+			sf.cost2[j] = p.Obj[j]
 		} else {
-			t.cost2[j] = -p.Obj[j]
+			sf.cost2[j] = -p.Obj[j]
 		}
 	}
 	for j := nv + ns; j < nTot; j++ {
-		t.cost1[j] = 1
+		sf.cost1[j] = 1
 	}
-
-	t.rows = make([][]float64, m)
-	for i := range t.rows {
-		t.rows[i] = make([]float64, nTot+1)
-	}
-	t.obj = make([]float64, nTot+1)
-	return t, Optimal
-}
-
-// refresh recomputes the whole tableau exactly from the original data and
-// the current basis: rows = B⁻¹[A|b], reduced costs = c − yᵀA with
-// Bᵀy = c_B. Returns false if the basis matrix is singular (the caller then
-// keeps the incrementally-updated tableau).
-func (t *tableau) refresh(cost mat.Vector) bool {
-	b := mat.NewMatrix(t.m, t.m)
-	for i := 0; i < t.m; i++ {
-		for r := 0; r < t.m; r++ {
-			b.Set(r, i, t.origA.At(r, t.basis[i]))
-		}
-	}
-	f, err := mat.Factor(b)
-	if err != nil {
-		return false
-	}
-	// Basic values.
-	xb := f.Solve(t.origB)
-	// Columns: B⁻¹ A, column by column.
-	colBuf := mat.NewVector(t.m)
-	newRows := make([][]float64, t.m)
-	for i := range newRows {
-		newRows[i] = make([]float64, t.nTot+1)
-	}
-	for j := 0; j < t.nTot; j++ {
-		nonzero := false
-		for r := 0; r < t.m; r++ {
-			v := t.origA.At(r, j)
-			colBuf[r] = v
-			if v != 0 {
-				nonzero = true
-			}
-		}
-		if !nonzero {
-			continue
-		}
-		sol := f.Solve(colBuf)
-		for r := 0; r < t.m; r++ {
-			newRows[r][j] = sol[r]
-		}
-	}
-	for r := 0; r < t.m; r++ {
-		v := xb[r]
-		if v < 0 && v > -1e-7 {
-			v = 0
-		}
-		newRows[r][t.nTot] = v
-	}
-	// Reduced costs.
-	cb := mat.NewVector(t.m)
-	for i, bi := range t.basis {
-		cb[i] = cost[bi]
-	}
-	bt, err := mat.Factor(b.T())
-	if err != nil {
-		return false
-	}
-	y := bt.Solve(cb)
-	newObj := make([]float64, t.nTot+1)
-	for j := 0; j < t.nTot; j++ {
-		rc := cost[j]
-		for r := 0; r < t.m; r++ {
-			rc -= y[r] * t.origA.At(r, j)
-		}
-		newObj[j] = rc
-	}
-	for i, bi := range t.basis {
-		newObj[bi] = 0
-		_ = i
-	}
-	newObj[t.nTot] = -y.Dot(t.origB)
-	t.rows = newRows
-	t.obj = newObj
-	return true
-}
-
-// pivot performs a pivot on (row, col).
-func (t *tableau) pivot(row, col int) {
-	pr := t.rows[row]
-	pv := pr[col]
-	inv := 1 / pv
-	for j := range pr {
-		pr[j] *= inv
-	}
-	pr[col] = 1
-	for i, r := range t.rows {
-		if i == row {
-			continue
-		}
-		if f := r[col]; f != 0 {
-			for j := range r {
-				r[j] -= f * pr[j]
-			}
-			r[col] = 0
-		}
-	}
-	if f := t.obj[col]; f != 0 {
-		for j := range t.obj {
-			t.obj[j] -= f * pr[j]
-		}
-		t.obj[col] = 0
-	}
-	t.basis[row] = col
-	t.iterations++
-}
-
-// chooseColumn picks the entering column. maxCol bounds the candidates
-// (excludes artificials in phase 2).
-func (t *tableau) chooseColumn(maxCol int, bland bool) int {
-	if bland {
-		for j := 0; j < maxCol; j++ {
-			if t.obj[j] < -costTol {
-				return j
-			}
-		}
-		return -1
-	}
-	best, bestVal := -1, -costTol
-	for j := 0; j < maxCol; j++ {
-		if t.obj[j] < bestVal {
-			bestVal = t.obj[j]
-			best = j
-		}
-	}
-	return best
-}
-
-// chooseRow runs the ratio test for entering column col. Ratio comparisons
-// use a relative tolerance; among (near-)ties the largest pivot element
-// wins for stability, except under Bland's rule where the smallest basis
-// index wins to guarantee termination. Returns -1 when the column is
-// unbounded.
-func (t *tableau) chooseRow(col int, bland bool) int {
-	bestRow := -1
-	bestRatio := math.Inf(1)
-	bestPivot := 0.0
-	for i, r := range t.rows {
-		a := r[col]
-		if a <= pivotTol {
-			continue
-		}
-		rhs := r[t.nTot]
-		if rhs < 0 {
-			rhs = 0 // tiny negative from roundoff: treat as degenerate
-		}
-		ratio := rhs / a
-		tol := 1e-9 * (1 + math.Abs(bestRatio))
-		switch {
-		case ratio < bestRatio-tol:
-			bestRow, bestRatio, bestPivot = i, ratio, a
-		case ratio <= bestRatio+tol:
-			if bland {
-				if bestRow == -1 || t.basis[i] < t.basis[bestRow] {
-					bestRow, bestPivot = i, a
-					if ratio < bestRatio {
-						bestRatio = ratio
-					}
-				}
-			} else if a > bestPivot {
-				bestRow, bestPivot = i, a
-				if ratio < bestRatio {
-					bestRatio = ratio
-				}
-			}
-		}
-	}
-	return bestRow
-}
-
-// runPhase iterates to optimality, unboundedness, or the iteration cap,
-// refactorizing the tableau every refreshEvery pivots.
-func (t *tableau) runPhase(cost mat.Vector, maxCol int) Status {
-	stallAfter := 200 + 20*(t.m+t.nTot)
-	limit := 1000 + 400*(t.m+t.nTot)
-	sinceRefresh := 0
-	for iter := 0; ; iter++ {
-		if iter > limit {
-			return IterationLimit
-		}
-		if sinceRefresh >= t.refreshEvery {
-			t.refresh(cost)
-			sinceRefresh = 0
-		}
-		bland := t.blandAlways || iter > stallAfter
-		col := t.chooseColumn(maxCol, bland)
-		if col < 0 {
-			return Optimal
-		}
-		row := t.chooseRow(col, bland)
-		if row < 0 {
-			return Unbounded
-		}
-		t.pivot(row, col)
-		sinceRefresh++
-	}
-}
-
-// solve runs both phases and extracts the solution.
-func (t *tableau) solve() *Solution {
-	sol := &Solution{}
-
-	if t.na > 0 {
-		if !t.refresh(t.cost1) {
-			sol.Status = Numerical
-			return sol
-		}
-		st := t.runPhase(t.cost1, t.nTot)
-		if st == IterationLimit || st == Unbounded {
-			// Phase 1 is never unbounded in exact arithmetic; treat as
-			// numerical trouble.
-			sol.Status = Numerical
-			if st == IterationLimit {
-				sol.Status = IterationLimit
-			}
-			return sol
-		}
-		t.refresh(t.cost1) // exact phase-1 value
-		if phase1 := -t.obj[t.nTot]; phase1 > 1e-7*(1+t.origB.Sum()) {
-			sol.Status = Infeasible
-			sol.Iterations = t.iterations
-			return sol
-		}
-		// Drive any degenerate basic artificials out of the basis.
-		for i, b := range t.basis {
-			if b < t.nv+t.ns {
-				continue
-			}
-			for j := 0; j < t.nv+t.ns; j++ {
-				if math.Abs(t.rows[i][j]) > pivotTol {
-					t.pivot(i, j)
-					break
-				}
-			}
-			// If the entire row is zero over real columns the constraint is
-			// redundant; its artificial stays basic at value zero, harmless
-			// because phase 2 never prices artificial columns.
-		}
-	}
-
-	return t.phase2()
-}
-
-// phase2 optimizes the true objective from the current (primal feasible)
-// basis and extracts the solution. It is the shared tail of the cold
-// two-phase solve and of warm starts that enter with a reusable basis.
-func (t *tableau) phase2() *Solution {
-	sol := &Solution{}
-	if !t.refresh(t.cost2) {
-		sol.Status = Numerical
-		return sol
-	}
-	st := t.runPhase(t.cost2, t.nv+t.ns)
-	sol.Iterations = t.iterations
-	if st != Optimal {
-		sol.Status = st
-		return sol
-	}
-	// Final exact recomputation of the solution from the basis.
-	t.refresh(t.cost2)
-	sol.Status = Optimal
-	x := make([]float64, t.nv)
-	for i, b := range t.basis {
-		if b < t.nv {
-			v := t.rows[i][t.nTot]
-			if v < 0 {
-				if v < -1e-7 {
-					sol.Status = Numerical
-					return sol
-				}
-				v = 0
-			}
-			x[b] = v
-		}
-	}
-	sol.X = x
-	return sol
+	return sf, Optimal
 }
 
 // verify checks the candidate solution against the original problem with a
 // scale-relative tolerance.
-func (t *tableau) verify(x []float64) bool {
+func (sf *stdForm) verify(x []float64) bool {
 	for _, v := range x {
 		if v < -1e-7 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return false
 		}
 	}
-	for _, c := range t.prob.Cons {
+	for i := range sf.prob.Cons {
+		c := &sf.prob.Cons[i]
 		a := 0.0
 		scale := math.Abs(c.RHS)
-		for j, v := range c.Coeffs {
-			a += v * x[j]
-			if s := math.Abs(v * x[j]); s > scale {
+		for k, j := range c.Cols {
+			term := c.Vals[k] * x[j]
+			a += term
+			if s := math.Abs(term); s > scale {
 				scale = s
 			}
 		}
@@ -656,4 +402,18 @@ func (t *tableau) verify(x []float64) bool {
 		}
 	}
 	return true
+}
+
+// finishSolution fills in activities and the objective (in the problem's own
+// sense) from the original data.
+func finishSolution(p *Problem, sol *Solution) {
+	sol.Activities = make([]float64, len(p.Cons))
+	for i := range p.Cons {
+		sol.Activities[i] = p.Cons[i].Dot(sol.X)
+	}
+	obj := 0.0
+	for j, v := range p.Obj {
+		obj += v * sol.X[j]
+	}
+	sol.Objective = obj
 }

@@ -155,10 +155,7 @@ func TestActivitiesReported(t *testing.T) {
 		t.Fatalf("Activities len = %d", len(sol.Activities))
 	}
 	for i, c := range p.Cons {
-		want := 0.0
-		for j, v := range c.Coeffs {
-			want += v * sol.X[j]
-		}
+		want := c.Dot(sol.X)
 		if math.Abs(sol.Activities[i]-want) > 1e-9 {
 			t.Errorf("activity[%d] = %g, want %g", i, sol.Activities[i], want)
 		}
@@ -195,10 +192,7 @@ func feasible(p *Problem, x []float64, tol float64) bool {
 		}
 	}
 	for _, c := range p.Cons {
-		a := 0.0
-		for j, v := range c.Coeffs {
-			a += v * x[j]
-		}
+		a := c.Dot(x)
 		switch c.Rel {
 		case LE:
 			if a > c.RHS+tol {

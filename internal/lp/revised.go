@@ -1,0 +1,527 @@
+package lp
+
+// Revised simplex: the default solver. Instead of carrying the full m×nTot
+// tableau, it keeps only
+//
+//   - the column-sparse standard-form matrix (immutable),
+//   - a dense LU factorization of the current m×m basis matrix
+//     (mat.Factor/mat.LU, the same kernel the Markov solvers use),
+//   - a short product-form eta file recording the pivots since the last
+//     refactorization, and
+//   - the current basic values.
+//
+// FTRAN (B⁻¹a, the entering direction) and BTRAN (B⁻ᵀc, the duals) run one
+// dense triangular solve pair plus O(m) per eta; pricing walks the sparse
+// columns in O(nnz(A)). The eta file is bounded by refactorEvery, after
+// which the basis is refactorized exactly from the original data — the same
+// periodic-refactorization hygiene the dense tableau used, which is what
+// keeps the stiff policy LPs (probabilities spanning four orders of
+// magnitude, discounts at 1−10⁻⁶) numerically honest.
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// eta is one product-form basis update: the basis column at row r was
+// replaced, and w = B⁻¹a_enter (in the pre-pivot basis) with pivot w[r].
+type eta struct {
+	r int
+	w mat.Vector
+}
+
+// revised is the solver state for one solve.
+type revised struct {
+	sf    *stdForm
+	basis []int // column index per row
+	pos   []int // column -> basis row, or -1
+	lu    *mat.LU
+	etas  []eta
+	xB    mat.Vector
+	d     mat.Vector // reduced costs of the active phase, maintained by pivoting
+
+	iterations    int
+	refactorEvery int
+	blandAlways   bool
+}
+
+func newRevised(sf *stdForm, conservative bool) *revised {
+	r := &revised{
+		sf:            sf,
+		basis:         make([]int, sf.m),
+		pos:           make([]int, sf.nTot),
+		xB:            mat.NewVector(sf.m),
+		refactorEvery: 50,
+	}
+	copy(r.basis, sf.initBasis)
+	if conservative {
+		r.refactorEvery = 10
+		r.blandAlways = true
+	}
+	r.rebuildPos()
+	return r
+}
+
+func (r *revised) rebuildPos() {
+	for j := range r.pos {
+		r.pos[j] = -1
+	}
+	for i, b := range r.basis {
+		r.pos[b] = i
+	}
+}
+
+// refactor rebuilds the dense LU of the basis matrix from the sparse
+// columns, clears the eta file, and recomputes exact basic values. It
+// returns false when the basis matrix is singular.
+func (r *revised) refactor() bool {
+	m := r.sf.m
+	bm := mat.NewMatrix(m, m)
+	for i, bcol := range r.basis {
+		rows, vals := r.sf.a.ColNZ(bcol)
+		for k, row := range rows {
+			bm.Set(row, i, vals[k])
+		}
+	}
+	f, err := mat.Factor(bm)
+	if err != nil {
+		return false
+	}
+	r.lu = f
+	r.etas = r.etas[:0]
+	xb := f.Solve(r.sf.b)
+	for i, v := range xb {
+		if v < 0 && v > -1e-7 {
+			xb[i] = 0
+		}
+	}
+	r.xB = xb
+	return true
+}
+
+// ftran solves B x = v through the factorization and the eta file. v is
+// consumed (the result reuses its storage only via the LU solve's output).
+func (r *revised) ftran(v mat.Vector) mat.Vector {
+	x := r.lu.Solve(v)
+	for e := range r.etas {
+		et := &r.etas[e]
+		piv := x[et.r] / et.w[et.r]
+		if piv != 0 {
+			for i, wi := range et.w {
+				x[i] -= piv * wi
+			}
+		}
+		x[et.r] = piv
+	}
+	return x
+}
+
+// ftranCol returns B⁻¹ a_j for standard-form column j.
+func (r *revised) ftranCol(j int) mat.Vector {
+	v := mat.NewVector(r.sf.m)
+	rows, vals := r.sf.a.ColNZ(j)
+	for k, i := range rows {
+		v[i] = vals[k]
+	}
+	return r.ftran(v)
+}
+
+// btran solves Bᵀ y = c through the eta file (in reverse) and the
+// factorization. c is not modified.
+func (r *revised) btran(c mat.Vector) mat.Vector {
+	v := c.Clone()
+	for e := len(r.etas) - 1; e >= 0; e-- {
+		et := &r.etas[e]
+		s := 0.0
+		for i, wi := range et.w {
+			s += v[i] * wi
+		}
+		// s includes the r-th term; v_r' = (v_r − (s − v_r·w_r)) / w_r.
+		v[et.r] = (v[et.r] - (s - v[et.r]*et.w[et.r])) / et.w[et.r]
+	}
+	return r.lu.SolveT(v)
+}
+
+// duals returns y with Bᵀ y = c_B for the given cost vector.
+func (r *revised) duals(cost mat.Vector) mat.Vector {
+	cb := mat.NewVector(r.sf.m)
+	for i, b := range r.basis {
+		cb[i] = cost[b]
+	}
+	return r.btran(cb)
+}
+
+// recomputeD refreshes the reduced-cost vector exactly from the duals of
+// the current basis: d_j = c_j − yᵀa_j, with basic entries pinned to zero.
+// Called at phase entry and after every refactorization; between those
+// points d is maintained by the pivot-row update, which keeps it consistent
+// with the basis the way a tableau's objective row is — the entering
+// column's reduced cost becomes exactly zero and the leaving column's
+// exactly −d_enter/pivot, so roundoff can never invite a column straight
+// back in (the failure mode that stalls recompute-from-duals pricing on
+// stiff instances whose duals reach 1/(1−α)).
+func (r *revised) recomputeD(cost mat.Vector) {
+	y := r.duals(cost)
+	if r.d == nil {
+		r.d = mat.NewVector(r.sf.nTot)
+	}
+	for j := 0; j < r.sf.nTot; j++ {
+		if r.pos[j] >= 0 {
+			r.d[j] = 0
+			continue
+		}
+		r.d[j] = cost[j] - r.sf.a.ColDot(j, y)
+	}
+}
+
+// updateD applies the tableau objective-row update after a pivot at (row,
+// col) with pivot element piv = α_col: d ← d − (d_col/piv)·α, where
+// α_j = βᵀa_j is the pivot row and β = B⁻ᵀe_row in the pre-pivot basis.
+// The entering column lands exactly at zero.
+func (r *revised) updateD(beta mat.Vector, col int, piv float64) {
+	factor := r.d[col] / piv
+	if factor != 0 {
+		for j := 0; j < r.sf.nTot; j++ {
+			if a := r.sf.a.ColDot(j, beta); a != 0 {
+				r.d[j] -= factor * a
+			}
+		}
+	}
+	r.d[col] = 0
+}
+
+// price picks the entering column among [0, maxCol) by the maintained
+// reduced costs: most negative under Dantzig, first negative under Bland.
+// Returns -1 at optimality.
+func (r *revised) price(maxCol int, bland bool) int {
+	if bland {
+		for j := 0; j < maxCol; j++ {
+			if r.pos[j] < 0 && r.d[j] < -costTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -costTol
+	for j := 0; j < maxCol; j++ {
+		if r.pos[j] >= 0 {
+			continue
+		}
+		if d := r.d[j]; d < bestVal {
+			bestVal = d
+			best = j
+		}
+	}
+	return best
+}
+
+// ratioTest picks the leaving row for entering direction w. Ratio
+// comparisons use a relative tolerance; among (near-)ties the largest pivot
+// element wins for stability, except under Bland's rule where the smallest
+// basis index wins to guarantee termination. Returns -1 when the column is
+// unbounded.
+func (r *revised) ratioTest(w mat.Vector, bland bool) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	bestPivot := 0.0
+	for i, a := range w {
+		if a <= pivotTol {
+			continue
+		}
+		rhs := r.xB[i]
+		if rhs < 0 {
+			rhs = 0 // tiny negative from roundoff: treat as degenerate
+		}
+		ratio := rhs / a
+		tol := 1e-9 * (1 + math.Abs(bestRatio))
+		switch {
+		case ratio < bestRatio-tol:
+			bestRow, bestRatio, bestPivot = i, ratio, a
+		case ratio <= bestRatio+tol:
+			if bland {
+				if bestRow == -1 || r.basis[i] < r.basis[bestRow] {
+					bestRow, bestPivot = i, a
+					if ratio < bestRatio {
+						bestRatio = ratio
+					}
+				}
+			} else if a > bestPivot {
+				bestRow, bestPivot = i, a
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+			}
+		}
+	}
+	return bestRow
+}
+
+// pivotUpdate applies the basis change (row, col) with direction w = B⁻¹a_col,
+// updating basic values and appending an eta. w is retained; callers must
+// not reuse it.
+func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
+	theta := r.xB[row] / w[row]
+	for i := range r.xB {
+		r.xB[i] -= theta * w[i]
+		if r.xB[i] < 0 && r.xB[i] > -zeroTol {
+			r.xB[i] = 0
+		}
+	}
+	r.xB[row] = theta
+	r.pos[r.basis[row]] = -1
+	r.basis[row] = col
+	r.pos[col] = row
+	r.etas = append(r.etas, eta{r: row, w: w})
+	r.iterations++
+}
+
+// runPhase iterates to optimality, unboundedness, or the iteration cap,
+// refactorizing whenever the eta file reaches refactorEvery.
+func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
+	stallAfter := 200 + 20*(r.sf.m+r.sf.nTot)
+	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
+	r.recomputeD(cost)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return IterationLimit
+		}
+		if len(r.etas) >= r.refactorEvery {
+			if !r.refactor() {
+				return Numerical
+			}
+			r.recomputeD(cost)
+		}
+		bland := r.blandAlways || iter > stallAfter
+		col := r.price(maxCol, bland)
+		if col < 0 {
+			return Optimal
+		}
+		w := r.ftranCol(col)
+		row := r.ratioTest(w, bland)
+		if row < 0 {
+			return Unbounded
+		}
+		ei := mat.NewVector(r.sf.m)
+		ei[row] = 1
+		beta := r.btran(ei) // pivot row in the pre-pivot basis
+		r.updateD(beta, col, w[row])
+		r.pivotUpdate(row, col, w)
+	}
+}
+
+// driveOutArtificials pivots degenerate basic artificials out of the basis
+// after phase 1. If an artificial's entire row is zero over real columns the
+// constraint is redundant; the artificial stays basic at value zero,
+// harmless because phase 2 never prices artificial columns.
+func (r *revised) driveOutArtificials() {
+	real := r.sf.nv + r.sf.ns
+	for i := 0; i < r.sf.m; i++ {
+		if r.basis[i] < real {
+			continue
+		}
+		ei := mat.NewVector(r.sf.m)
+		ei[i] = 1
+		beta := r.btran(ei)
+		for j := 0; j < real; j++ {
+			if r.pos[j] >= 0 {
+				continue
+			}
+			if math.Abs(r.sf.a.ColDot(j, beta)) <= pivotTol {
+				continue
+			}
+			w := r.ftranCol(j)
+			if math.Abs(w[i]) > pivotTol {
+				r.pivotUpdate(i, j, w)
+				break
+			}
+		}
+	}
+}
+
+// solve runs both phases and extracts the solution.
+func (r *revised) solve() *Solution {
+	sol := &Solution{}
+	if !r.refactor() {
+		sol.Status = Numerical
+		return sol
+	}
+	if r.sf.na > 0 {
+		st := r.runPhase(r.sf.cost1, r.sf.nTot)
+		if st != Optimal {
+			// Phase 1 is never unbounded in exact arithmetic; treat it as
+			// numerical trouble.
+			sol.Status = Numerical
+			if st == IterationLimit {
+				sol.Status = IterationLimit
+			}
+			return sol
+		}
+		if !r.refactor() { // exact phase-1 values
+			sol.Status = Numerical
+			return sol
+		}
+		phase1 := 0.0
+		for i, b := range r.basis {
+			if b >= r.sf.nv+r.sf.ns {
+				phase1 += r.xB[i]
+			}
+		}
+		if phase1 > 1e-7*(1+r.sf.b.Sum()) {
+			sol.Status = Infeasible
+			sol.Iterations = r.iterations
+			return sol
+		}
+		r.driveOutArtificials()
+	}
+	return r.phase2()
+}
+
+// phase2 optimizes the true objective from the current (primal feasible)
+// basis and extracts the solution. It is the shared tail of the cold
+// two-phase solve and of warm starts that enter with a reusable basis.
+func (r *revised) phase2() *Solution {
+	sol := &Solution{}
+	if !r.refactor() {
+		sol.Status = Numerical
+		return sol
+	}
+	st := r.runPhase(r.sf.cost2, r.sf.nv+r.sf.ns)
+	sol.Iterations = r.iterations
+	if st != Optimal {
+		sol.Status = st
+		return sol
+	}
+	if !r.refactor() { // final exact recomputation from the basis
+		sol.Status = Numerical
+		return sol
+	}
+	sol.Status = Optimal
+	x := make([]float64, r.sf.nv)
+	for i, b := range r.basis {
+		if b < r.sf.nv {
+			v := r.xB[i]
+			if v < 0 {
+				if v < -1e-7 {
+					sol.Status = Numerical
+					return sol
+				}
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	sol.X = x
+	return sol
+}
+
+// primalFeasible reports whether every basic value is nonnegative (up to
+// roundoff slack).
+func (r *revised) primalFeasible() bool {
+	for _, v := range r.xB {
+		if v < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports whether every priced (non-artificial) column has a
+// nonnegative phase-2 reduced cost, the precondition for dual simplex.
+func (r *revised) dualFeasible() bool {
+	r.recomputeD(r.sf.cost2)
+	for j := 0; j < r.sf.nv+r.sf.ns; j++ {
+		if r.pos[j] < 0 && r.d[j] < -costTol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualSimplex restores primal feasibility of a dual-feasible basis: the row
+// with the most negative basic value leaves, and the entering column is
+// chosen by the dual ratio test over that row's strictly negative entries
+// (computed as βᵀa_j with β = B⁻ᵀe_row; ties broken toward the largest
+// pivot magnitude for stability). It returns false when no entering column
+// exists (the new problem is primal infeasible from this basis), the pivot
+// limit is hit, or the basis goes numerically bad; callers then fall back
+// to a cold solve rather than trusting a half-converged state.
+func (r *revised) dualSimplex() bool {
+	real := r.sf.nv + r.sf.ns
+	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
+	r.recomputeD(r.sf.cost2)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return false
+		}
+		if len(r.etas) >= r.refactorEvery {
+			if !r.refactor() {
+				return false
+			}
+			r.recomputeD(r.sf.cost2)
+		}
+		row, worst := -1, -1e-9
+		for i, v := range r.xB {
+			if v < worst {
+				worst, row = v, i
+			}
+		}
+		if row < 0 {
+			return true
+		}
+		ei := mat.NewVector(r.sf.m)
+		ei[row] = 1
+		beta := r.btran(ei)
+		col, bestRatio, bestMag := -1, math.Inf(1), 0.0
+		for j := 0; j < real; j++ {
+			if r.pos[j] >= 0 {
+				continue
+			}
+			a := r.sf.a.ColDot(j, beta)
+			if a >= -pivotTol {
+				continue
+			}
+			rc := r.d[j]
+			if rc < 0 {
+				rc = 0 // roundoff on a nonbasic column: treat as degenerate
+			}
+			ratio := rc / -a
+			tol := 1e-9 * (1 + math.Abs(bestRatio))
+			switch {
+			case ratio < bestRatio-tol:
+				col, bestRatio, bestMag = j, ratio, -a
+			case ratio <= bestRatio+tol && -a > bestMag:
+				col, bestMag = j, -a
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+			}
+		}
+		if col < 0 {
+			return false
+		}
+		w := r.ftranCol(col)
+		if math.Abs(w[row]) <= pivotTol {
+			return false // direction disagrees with the priced row: bail out
+		}
+		r.updateD(beta, col, w[row])
+		r.pivotUpdate(row, col, w)
+	}
+}
+
+// solveRevised runs one cold revised-simplex solve.
+func solveRevised(p *Problem, conservative bool) (*Solution, *revised) {
+	sf, preStatus := newStdForm(p)
+	if preStatus != Optimal {
+		return &Solution{Status: preStatus}, nil
+	}
+	r := newRevised(sf, conservative)
+	sol := r.solve()
+	if sol.Status != Optimal {
+		return sol, nil
+	}
+	if !sf.verify(sol.X) {
+		sol.Status = Numerical
+	}
+	return sol, r
+}

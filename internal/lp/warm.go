@@ -32,31 +32,36 @@ func (b *Basis) String() string {
 	return fmt.Sprintf("lp.Basis{m=%d nv=%d ns=%d na=%d}", len(b.cols), b.nv, b.ns, b.na)
 }
 
-// exportBasis snapshots the tableau's current basis for reuse.
-func (t *tableau) exportBasis() *Basis {
-	cols := make([]int, t.m)
-	copy(cols, t.basis)
-	return &Basis{cols: cols, nv: t.nv, ns: t.ns, na: t.na}
+// exportBasis snapshots the solver's current basis for reuse.
+func (r *revised) exportBasis() *Basis {
+	cols := make([]int, r.sf.m)
+	copy(cols, r.basis)
+	return &Basis{cols: cols, nv: r.sf.nv, ns: r.sf.ns, na: r.sf.na}
 }
 
-// compatible reports whether the basis plausibly belongs to the tableau's
-// standard form: same column-space shape, one distinct in-range column per
-// row. It cannot detect every mismatch (a reordered problem with identical
-// shape passes), but any accepted basis is still just a starting point — the
+// compatible reports whether the basis plausibly belongs to the standard
+// form: same column-space shape, one distinct in-range column per row. It
+// cannot detect every mismatch (a reordered problem with identical shape
+// passes), but any accepted basis is still just a starting point — the
 // solve refactorizes against the actual data and verifies the final answer,
 // so a semantically stale basis costs pivots, never correctness.
-func (b *Basis) compatible(t *tableau) bool {
-	if b == nil || b.nv != t.nv || b.ns != t.ns || b.na != t.na || len(b.cols) != t.m {
+func (b *Basis) compatible(sf *stdForm) bool {
+	if b == nil || b.nv != sf.nv || b.ns != sf.ns || b.na != sf.na || len(b.cols) != sf.m {
 		return false
 	}
-	seen := make(map[int]bool, t.m)
+	seen := make(map[int]bool, sf.m)
 	for _, c := range b.cols {
-		if c < 0 || c >= t.nTot || seen[c] {
+		if c < 0 || c >= sf.nTot || seen[c] {
 			return false
 		}
 		seen[c] = true
 	}
 	return true
+}
+
+// notOptimalErr wraps a non-optimal status in the package error contract.
+func notOptimalErr(s Status) error {
+	return fmt.Errorf("lp: %v: %w", s, ErrNotOptimal)
 }
 
 // SolveWithBasis solves the problem like Solve, optionally warm-starting
@@ -65,157 +70,65 @@ func (b *Basis) compatible(t *tableau) bool {
 // otherwise the returned basis is nil. A nil warm basis is a cold solve.
 func SolveWithBasis(p *Problem, warm *Basis) (*Solution, *Basis, error) {
 	var sol *Solution
-	var t *tableau
+	var r *revised
 	if warm != nil {
-		sol, t = solveWarm(p, warm)
+		sol, r = solveWarm(p, warm)
 	}
 	if sol == nil {
-		sol, t = solveOnce(p, false)
+		sol, r = solveRevised(p, false)
 		if sol.Status == Numerical {
 			// Retry with Bland's rule from the start and aggressive
 			// refactorization; slower but maximally stable.
-			sol, t = solveOnce(p, true)
+			sol, r = solveRevised(p, true)
 		}
 	}
 	if sol.Status != Optimal {
-		return sol, nil, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
+		return sol, nil, notOptimalErr(sol.Status)
 	}
 	// Activities and objective are recomputed from the original data.
-	sol.Activities = make([]float64, len(p.Cons))
-	for i, c := range p.Cons {
-		a := 0.0
-		for j, v := range c.Coeffs {
-			a += v * sol.X[j]
-		}
-		sol.Activities[i] = a
-	}
-	obj := 0.0
-	for j, v := range p.Obj {
-		obj += v * sol.X[j]
-	}
-	sol.Objective = obj
-	return sol, t.exportBasis(), nil
+	finishSolution(p, sol)
+	return sol, r.exportBasis(), nil
 }
 
 // solveWarm attempts a warm-started solve. It returns (nil, nil) whenever
 // the basis cannot be reused, signalling the caller to fall back to a cold
 // solve; a non-nil Solution is definitive (the presolve-infeasible case or a
 // completed, verified phase-2 run).
-func solveWarm(p *Problem, warm *Basis) (*Solution, *tableau) {
-	t, preStatus := newTableau(p, false)
+func solveWarm(p *Problem, warm *Basis) (*Solution, *revised) {
+	sf, preStatus := newStdForm(p)
 	if preStatus != Optimal {
 		// Trivial presolve verdicts don't depend on the starting basis.
 		return &Solution{Status: preStatus}, nil
 	}
-	if !warm.compatible(t) {
+	if !warm.compatible(sf) {
 		return nil, nil
 	}
-	copy(t.basis, warm.cols)
-	if !t.refresh(t.cost2) {
+	r := newRevised(sf, false)
+	copy(r.basis, warm.cols)
+	r.rebuildPos()
+	if !r.refactor() {
 		return nil, nil // singular basis matrix under the new data
 	}
 	// Artificial variables may legitimately sit in an optimal basis (from a
 	// redundant constraint) but only at level zero; a nonzero artificial
 	// means the basis does not describe a feasible point of the new problem.
-	for i, b := range t.basis {
-		if b >= t.nv+t.ns && math.Abs(t.rows[i][t.nTot]) > 1e-7 {
+	for i, b := range r.basis {
+		if b >= sf.nv+sf.ns && math.Abs(r.xB[i]) > 1e-7 {
 			return nil, nil
 		}
 	}
-	if !t.primalFeasible() {
+	if !r.primalFeasible() {
 		// The RHS change broke primal feasibility. At an exported optimal
 		// basis the reduced costs are still nonnegative (they do not depend
 		// on the RHS), which is exactly the dual-simplex entry condition.
-		if !t.dualFeasible() || !t.dualSimplex() {
+		if !r.dualFeasible() || !r.dualSimplex() {
 			return nil, nil
 		}
 	}
-	sol := t.phase2()
-	if sol.Status != Optimal || !t.verify(sol.X) {
+	sol := r.phase2()
+	if sol.Status != Optimal || !sf.verify(sol.X) {
 		return nil, nil // let the battle-tested cold path have it
 	}
 	sol.WarmStarted = true
-	return sol, t
-}
-
-// primalFeasible reports whether every basic value is nonnegative (up to
-// roundoff slack left by non-refactorized pivots).
-func (t *tableau) primalFeasible() bool {
-	for _, r := range t.rows {
-		if r[t.nTot] < -1e-9 {
-			return false
-		}
-	}
-	return true
-}
-
-// dualFeasible reports whether every priced (non-artificial) column has a
-// nonnegative phase-2 reduced cost, the precondition for dual simplex.
-func (t *tableau) dualFeasible() bool {
-	for j := 0; j < t.nv+t.ns; j++ {
-		if t.obj[j] < -costTol {
-			return false
-		}
-	}
-	return true
-}
-
-// dualSimplex restores primal feasibility of a dual-feasible basis: the row
-// with the most negative basic value leaves, and the entering column is
-// chosen by the dual ratio test over that row's strictly negative entries
-// (ties broken toward the largest pivot magnitude for stability). Like the
-// primal phases it refactorizes every refreshEvery pivots. It returns false
-// when no entering column exists (the new problem is primal infeasible from
-// this basis) or the pivot limit is hit; callers then fall back to a cold
-// solve rather than trusting a half-converged tableau.
-func (t *tableau) dualSimplex() bool {
-	maxCol := t.nv + t.ns
-	limit := 1000 + 400*(t.m+t.nTot)
-	sinceRefresh := 0
-	for iter := 0; ; iter++ {
-		if iter > limit {
-			return false
-		}
-		if sinceRefresh >= t.refreshEvery {
-			t.refresh(t.cost2)
-			sinceRefresh = 0
-		}
-		row, worst := -1, -1e-9
-		for i, r := range t.rows {
-			if v := r[t.nTot]; v < worst {
-				worst, row = v, i
-			}
-		}
-		if row < 0 {
-			return true
-		}
-		r := t.rows[row]
-		col, bestRatio, bestMag := -1, math.Inf(1), 0.0
-		for j := 0; j < maxCol; j++ {
-			a := r[j]
-			if a >= -pivotTol {
-				continue
-			}
-			rc := t.obj[j]
-			if rc < 0 {
-				rc = 0 // roundoff on a nonbasic column: treat as degenerate
-			}
-			ratio := rc / -a
-			tol := 1e-9 * (1 + math.Abs(bestRatio))
-			switch {
-			case ratio < bestRatio-tol:
-				col, bestRatio, bestMag = j, ratio, -a
-			case ratio <= bestRatio+tol && -a > bestMag:
-				col, bestMag = j, -a
-				if ratio < bestRatio {
-					bestRatio = ratio
-				}
-			}
-		}
-		if col < 0 {
-			return false
-		}
-		t.pivot(row, col)
-		sinceRefresh++
-	}
+	return sol, r
 }

@@ -5,28 +5,51 @@
 // and expected hitting times (used to verify device models against
 // data-sheet transition times, Table I).
 //
-// Chains are represented by dense row-stochastic matrices from internal/mat;
-// state spaces in this reproduction stay well under a thousand states, so
-// dense solves are exact and fast.
+// Chains are stored in compressed-sparse-row form (internal/mat's CSR):
+// composed DPM chains are extremely sparse — the queue law of Eq. 3 is
+// banded and the component chains have tiny out-degrees — so distribution
+// steps and hitting-time assembly run in O(nnz). The direct solves behind
+// Stationary, DiscountedValue and DiscountedOccupancy assemble their n×n
+// linear systems straight from the sparse form (no dense transition matrix,
+// transpose, or clone is ever materialized) and hand them to the dense LU —
+// one dense system per query, the same "dense factorization of only the
+// system that needs it" discipline the revised simplex uses for its basis.
 package markov
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 )
 
 // Chain is a stationary discrete-time Markov chain over states 0..N-1.
 type Chain struct {
-	p *mat.Matrix
+	p         *mat.CSR
+	denseOnce sync.Once
+	dense     *mat.Matrix // lazily cached dense view for P()
 }
 
 // New validates that p is square and row-stochastic (within tol; pass 0 for
-// the default) and wraps it in a Chain. The matrix is not copied; callers
-// must not mutate it afterwards.
+// the default) and wraps it in a Chain, compressing it to sparse form.
+// The matrix is not copied for the dense view; callers must not mutate it
+// afterwards.
 func New(p *mat.Matrix, tol float64) (*Chain, error) {
 	if p.Rows != p.Cols {
 		return nil, fmt.Errorf("markov: transition matrix is %dx%d, want square", p.Rows, p.Cols)
+	}
+	if err := p.CheckStochastic(tol); err != nil {
+		return nil, fmt.Errorf("markov: %w", err)
+	}
+	return &Chain{p: mat.FromDense(p), dense: p}, nil
+}
+
+// NewCSR validates that p is square and row-stochastic on its sparse form
+// (within tol; pass 0 for the default) and wraps it in a Chain without ever
+// densifying. The matrix is not copied; callers must not mutate it.
+func NewCSR(p *mat.CSR, tol float64) (*Chain, error) {
+	if p.Rows() != p.Cols() {
+		return nil, fmt.Errorf("markov: transition matrix is %dx%d, want square", p.Rows(), p.Cols())
 	}
 	if err := p.CheckStochastic(tol); err != nil {
 		return nil, fmt.Errorf("markov: %w", err)
@@ -45,12 +68,25 @@ func MustNew(p *mat.Matrix, tol float64) *Chain {
 }
 
 // N returns the number of states.
-func (c *Chain) N() int { return c.p.Rows }
+func (c *Chain) N() int { return c.p.Rows() }
 
-// P returns the transition matrix. Callers must not mutate it.
-func (c *Chain) P() *mat.Matrix { return c.p }
+// P returns the transition matrix as a dense view, materializing (and
+// caching) it on first use; the once-guard keeps a read-only Chain safe to
+// share across goroutines. Callers must not mutate the result; sparse-aware
+// callers should prefer Sparse.
+func (c *Chain) P() *mat.Matrix {
+	c.denseOnce.Do(func() {
+		if c.dense == nil {
+			c.dense = c.p.Dense()
+		}
+	})
+	return c.dense
+}
 
-// Step returns the distribution after one step: dist * P.
+// Sparse returns the CSR transition matrix. Callers must not mutate it.
+func (c *Chain) Sparse() *mat.CSR { return c.p }
+
+// Step returns the distribution after one step: dist * P, in O(nnz).
 func (c *Chain) Step(dist mat.Vector) mat.Vector {
 	return c.p.VecMul(dist)
 }
@@ -74,8 +110,16 @@ func (c *Chain) Stationary() (mat.Vector, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("markov: empty chain")
 	}
-	// Build A = Pᵀ - I, then overwrite the last row with 1s (normalization).
-	a := c.p.T()
+	// Assemble A = Pᵀ - I directly from the sparse rows (scattering entry
+	// (i,j) to position (j,i)), then overwrite the last row with 1s
+	// (normalization).
+	a := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := c.p.RowNZ(i)
+		for k, j := range cols {
+			a.Add(j, i, vals[k])
+		}
+	}
 	for i := 0; i < n; i++ {
 		a.Add(i, i, -1)
 	}
@@ -98,7 +142,8 @@ func (c *Chain) Stationary() (mat.Vector, error) {
 }
 
 // DiscountedValue returns v = Σ_{t≥0} αᵗ Pᵗ cost, the total expected
-// discounted cost from each starting state, by solving (I − αP) v = cost.
+// discounted cost from each starting state, by solving (I − αP) v = cost,
+// with the system assembled straight from the sparse form.
 // This is the value vector of the optimality equations in Appendix A.
 // It requires 0 <= α < 1.
 func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, error) {
@@ -108,8 +153,16 @@ func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, err
 	if len(cost) != c.N() {
 		return nil, fmt.Errorf("markov: cost vector length %d, want %d", len(cost), c.N())
 	}
-	a := c.p.Clone().Scale(-alpha)
-	for i := 0; i < c.N(); i++ {
+	n := c.N()
+	a := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := c.p.RowNZ(i)
+		row := a.Row(i)
+		for k, j := range cols {
+			row[j] = -alpha * vals[k]
+		}
+	}
+	for i := 0; i < n; i++ {
 		a.Add(i, i, 1)
 	}
 	v, err := mat.Solve(a, cost)
@@ -124,8 +177,9 @@ func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, err
 //	y = (1−α) Σ_{t≥0} αᵗ q0 Pᵗ,
 //
 // i.e. y_j is the discounted fraction of time spent in state j starting from
-// distribution q0. It solves (I − αPᵀ) yᵀ = (1−α) q0ᵀ. Σy = 1 whenever
-// Σq0 = 1. These are the (scaled) state frequencies of LP2.
+// distribution q0. It solves (I − αPᵀ) yᵀ = (1−α) q0ᵀ, with the system
+// assembled straight from the sparse form. Σy = 1 whenever Σq0 = 1. These
+// are the (scaled) state frequencies of LP2.
 func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, error) {
 	if alpha < 0 || alpha >= 1 {
 		return nil, fmt.Errorf("markov: discount factor %g outside [0,1)", alpha)
@@ -133,8 +187,15 @@ func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, e
 	if len(q0) != c.N() {
 		return nil, fmt.Errorf("markov: initial distribution length %d, want %d", len(q0), c.N())
 	}
-	a := c.p.T().Scale(-alpha)
-	for i := 0; i < c.N(); i++ {
+	n := c.N()
+	a := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := c.p.RowNZ(i)
+		for k, j := range cols {
+			a.Add(j, i, -alpha*vals[k])
+		}
+	}
+	for i := 0; i < n; i++ {
 		a.Add(i, i, 1)
 	}
 	rhs := q0.Clone().Scale(1 - alpha)
@@ -152,9 +213,10 @@ func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, e
 
 // ExpectedHittingTimes returns h where h_i is the expected number of steps
 // to first reach any state in targets, starting from state i (h_i = 0 for
-// targets). It solves h_i = 1 + Σ_j P_ij h_j over non-target states. An
-// error is returned if some state cannot reach the target set (the linear
-// system is then singular or produces non-finite values).
+// targets). It solves h_i = 1 + Σ_j P_ij h_j over non-target states,
+// assembled in O(nnz). An error is returned if some state cannot reach the
+// target set (the linear system is then singular or produces non-finite
+// values).
 func (c *Chain) ExpectedHittingTimes(targets map[int]bool) (mat.Vector, error) {
 	n := c.N()
 	var free []int // non-target states, in order
@@ -177,13 +239,10 @@ func (c *Chain) ExpectedHittingTimes(targets map[int]bool) (mat.Vector, error) {
 	b := mat.NewVector(m)
 	for r, i := range free {
 		b[r] = 1
-		for j := 0; j < n; j++ {
-			p := c.p.At(i, j)
-			if p == 0 {
-				continue
-			}
-			if k := idx[j]; k >= 0 {
-				a.Add(r, k, -p)
+		cols, vals := c.p.RowNZ(i)
+		for k, j := range cols {
+			if kk := idx[j]; kk >= 0 {
+				a.Add(r, kk, -vals[k])
 			}
 		}
 		a.Add(r, r, 1)

@@ -98,6 +98,38 @@ func (f *LU) Solve(b Vector) Vector {
 	return x
 }
 
+// SolveT solves the transposed system Aᵀ x = b using the factorization of A,
+// without factoring Aᵀ separately. With PA = LU (P the row permutation the
+// pivot vector records), Aᵀ = Uᵀ Lᵀ P, so the solve runs Uᵀ (forward), Lᵀ
+// (backward), then undoes the permutation. b is not modified. This is the
+// BTRAN step of the revised simplex, where one factorization serves both
+// B x = b and Bᵀ y = c.
+func (f *LU) SolveT(b Vector) Vector {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("mat: LU.SolveT dimension mismatch")
+	}
+	z := b.Clone()
+	// Forward substitution with Uᵀ (lower triangular, diagonal from U).
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			z[i] -= f.lu.At(j, i) * z[j]
+		}
+		z[i] /= f.lu.At(i, i)
+	}
+	// Back substitution with Lᵀ (unit-diagonal upper triangular).
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			z[i] -= f.lu.At(j, i) * z[j]
+		}
+	}
+	x := NewVector(n)
+	for i := range x {
+		x[f.piv[i]] = z[i]
+	}
+	return x
+}
+
 // Solve solves the square linear system A x = b.
 func Solve(a *Matrix, b Vector) (Vector, error) {
 	f, err := Factor(a)
@@ -107,9 +139,12 @@ func Solve(a *Matrix, b Vector) (Vector, error) {
 	return f.Solve(b), nil
 }
 
-// SolveT solves the transposed system Aᵀ x = b without forming Aᵀ explicitly
-// as a separate factorization (it transposes and factors; systems here are
-// small, so clarity wins over cleverness).
+// SolveT solves the transposed system Aᵀ x = b, reusing a single
+// factorization of A via LU.SolveT.
 func SolveT(a *Matrix, b Vector) (Vector, error) {
-	return Solve(a.T(), b)
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveT(b), nil
 }
