@@ -9,9 +9,9 @@ GO ?= go
 SHELL := bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build lint test bench
+.PHONY: all build lint test bench serve smoke
 
-all: build lint test bench
+all: build lint test bench smoke
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,20 @@ lint:
 test:
 	$(GO) test -race ./...
 
-# One iteration per benchmark proves every benchmark still compiles and
-# runs; benchjson converts the log into BENCH.json (benchmark → ns/op,
-# B/op, allocs/op, custom metrics) so the perf trajectory is tracked
-# across PRs. CI uploads BENCH.json as an artifact.
+# Three iterations per benchmark: enough to smooth single-sample noise now
+# that cmd/benchtrend gates CI on these numbers, still cheap enough for
+# every run. benchjson converts the log into BENCH.json (benchmark →
+# ns/op, B/op, allocs/op, custom metrics) so the perf trajectory is
+# tracked across PRs. CI uploads BENCH.json as an artifact.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH.json
+	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH.json
+
+# Run the policy-serving daemon locally (Ctrl-C to stop).
+serve:
+	$(GO) run ./cmd/dpmserved -addr localhost:8080
+
+# Build dpmserved with the race detector and drive it end to end:
+# start, health check, cold solve, cache hit, clean SIGTERM shutdown.
+smoke:
+	$(GO) build -race -o bin/dpmserved ./cmd/dpmserved
+	./scripts/smoke.sh bin/dpmserved

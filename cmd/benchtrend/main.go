@@ -1,0 +1,135 @@
+// Command benchtrend compares the current BENCH.json against a previous
+// run's artifact and fails (exit 1) when a headline benchmark regressed by
+// more than the allowed ratio — the ROADMAP's "fail CI on large regressions
+// of the headline benches" checker.
+//
+// Usage:
+//
+//	benchtrend -old prev/BENCH.json [-new BENCH.json] [-max-ratio 2] \
+//	           [-benches OptimizeDisk,SweepDisk,LargeComposite] [-min-ns 1e6]
+//
+// Bench names are prefix-matched against the report (so "LargeComposite"
+// covers every sub-benchmark). Benchmarks absent from the old report are
+// reported informationally and never fail the check; ns/op values below
+// -min-ns are skipped, because single-iteration timings of sub-millisecond
+// benches are noise. The 2x default is deliberately loose for the same
+// reason — the check is a tripwire for order-of-magnitude mistakes, not a
+// statistically careful benchmark gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Entry and Report mirror cmd/benchjson's output document.
+type Entry struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous BENCH.json (required)")
+	newPath := flag.String("new", "BENCH.json", "current BENCH.json")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/old ns/op exceeds this")
+	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite", "comma-separated headline bench name prefixes")
+	minNS := flag.Float64("min-ns", 1e6, "ignore benches whose old ns/op is below this (too noisy at 1 iteration)")
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: -old is required")
+		os.Exit(2)
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(2)
+	}
+	regressions, notes := compare(oldRep, newRep, strings.Split(*benches, ","), *maxRatio, *minNS)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Printf("REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchtrend: no headline regressions")
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// key disambiguates same-named benchmarks across packages.
+func key(e Entry) string { return e.Package + "\x00" + e.Name }
+
+// compare returns the regression messages (new/old ns/op > maxRatio) and
+// informational notes for the selected headline benches.
+func compare(oldRep, newRep *Report, prefixes []string, maxRatio, minNS float64) (regressions, notes []string) {
+	old := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		old[key(e)] = e
+	}
+	headline := func(name string) bool {
+		for _, p := range prefixes {
+			if p = strings.TrimSpace(p); p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range newRep.Benchmarks {
+		if !headline(e.Name) {
+			continue
+		}
+		cur, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		prev, ok := old[key(e)]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("benchtrend: %s: no previous record (new benchmark?)", e.Name))
+			continue
+		}
+		base, ok := prev.Metrics["ns/op"]
+		if !ok || base <= 0 {
+			continue
+		}
+		if base < minNS {
+			notes = append(notes, fmt.Sprintf("benchtrend: %s: skipped (%.3gms below min-ns floor)", e.Name, base/1e6))
+			continue
+		}
+		ratio := cur / base
+		msg := fmt.Sprintf("%s: %.3gms -> %.3gms (%.2fx)", e.Name, base/1e6, cur/1e6, ratio)
+		if ratio > maxRatio {
+			regressions = append(regressions, msg)
+		} else {
+			notes = append(notes, "benchtrend: "+msg)
+		}
+	}
+	return regressions, notes
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(entries ...Entry) *Report { return &Report{Benchmarks: entries} }
+
+func entry(name string, ns float64) Entry {
+	return Entry{Package: "repro", Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompare(t *testing.T) {
+	old := rep(
+		entry("OptimizeDisk", 4e6),
+		entry("SweepDisk", 12e6),
+		entry("LargeComposite/sparse-q4", 400e6),
+		entry("ComposeDisk", 0.2e6), // not headline
+	)
+	prefixes := []string{"OptimizeDisk", "SweepDisk", "LargeComposite"}
+
+	// Within ratio: no regressions.
+	cur := rep(
+		entry("OptimizeDisk", 6e6),
+		entry("SweepDisk", 11e6),
+		entry("LargeComposite/sparse-q4", 500e6),
+		entry("ComposeDisk", 5e6), // 25x, but not headline
+	)
+	if regs, _ := compare(old, cur, prefixes, 2, 1e6); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// One headline bench 3x slower: exactly one regression.
+	cur = rep(
+		entry("OptimizeDisk", 12e6),
+		entry("SweepDisk", 11e6),
+		entry("LargeComposite/sparse-q4", 500e6),
+	)
+	regs, _ := compare(old, cur, prefixes, 2, 1e6)
+	if len(regs) != 1 || !strings.Contains(regs[0], "OptimizeDisk") {
+		t.Errorf("regressions = %v, want one for OptimizeDisk", regs)
+	}
+
+	// A new sub-benchmark with no baseline is a note, not a failure.
+	cur = rep(entry("LargeComposite/sparse-q16", 900e6))
+	regs, notes := compare(old, cur, prefixes, 2, 1e6)
+	if len(regs) != 0 {
+		t.Errorf("missing baseline treated as regression: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		found = found || strings.Contains(n, "no previous record")
+	}
+	if !found {
+		t.Errorf("missing-baseline note absent: %v", notes)
+	}
+
+	// Sub-floor baselines are skipped even when headline-matched.
+	old2 := rep(entry("OptimizeDisk", 0.1e6))
+	cur = rep(entry("OptimizeDisk", 10e6))
+	if regs, _ := compare(old2, cur, prefixes, 2, 1e6); len(regs) != 0 {
+		t.Errorf("sub-floor baseline flagged: %v", regs)
+	}
+}

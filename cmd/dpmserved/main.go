@@ -1,0 +1,80 @@
+// Command dpmserved runs the resident policy-serving daemon: an HTTP/JSON
+// service (internal/server) that holds compiled device models in memory and
+// answers policy-optimization and Pareto-sweep queries from a fingerprinted
+// result/basis cache.
+//
+// Usage:
+//
+//	dpmserved [-addr :8080] [-cache 512] [-timeout 30s] [-max-timeout 2m]
+//
+// The listening address is printed on startup ("dpmserved: listening on
+// http://HOST:PORT"), so -addr 127.0.0.1:0 works for scripted smoke tests.
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly. See the README
+// section "Serving mode" for the endpoint reference and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cache := flag.Int("cache", 512, "cached results/bases (LRU entries)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	flag.Parse()
+
+	if err := run(*addr, *cache, *timeout, *maxTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cache int, timeout, maxTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := server.New(server.Config{
+		CacheSize:      cache,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTimeout,
+		BaseContext:    ctx, // shutdown cancels in-flight solves mid-pivot
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dpmserved: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("dpmserved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

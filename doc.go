@@ -41,6 +41,17 @@
 //   - internal/devices — the paper's case-study models (example system,
 //     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU,
 //     and the mini-disk CompositeSP network fixture);
+//   - internal/server — the resident policy-serving subsystem behind
+//     cmd/dpmserved: an HTTP/JSON daemon holding compiled models resident,
+//     answering optimize/sweep queries from a cache keyed by a content
+//     fingerprint of (model parameters, discount, objective, constraints).
+//     Exact hits return cached results with zero pivots, near hits
+//     warm-start from the nearest cached basis, concurrent identical
+//     queries share one solve, and per-request deadlines cancel the
+//     simplex mid-pivot (OptimizeCtx / lp.SolveWithBasisCtx). Endpoints:
+//     POST /v1/models, GET /v1/models, POST /v1/optimize, POST /v1/sweep,
+//     GET /v1/healthz, GET /v1/stats, GET /metrics — see the README's
+//     "Serving mode" section for curl examples and cache semantics;
 //   - internal/experiments — one runner per paper table/figure.
 //
 // A minimal end-to-end use:
@@ -130,8 +141,10 @@ const (
 // Core functions.
 var (
 	// Optimize solves the constrained policy-optimization LP and extracts
-	// the optimal policy.
-	Optimize = core.Optimize
+	// the optimal policy; OptimizeCtx is the same under a context whose
+	// cancellation or deadline aborts the solve within one simplex pivot.
+	Optimize    = core.Optimize
+	OptimizeCtx = core.OptimizeCtx
 	// ParetoSweep traces a power-performance tradeoff curve sequentially,
 	// warm-starting consecutive points from each other's optimal basis.
 	ParetoSweep = core.ParetoSweep

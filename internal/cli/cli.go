@@ -82,19 +82,35 @@ func NewDevice(name string, p01, p10 float64) (*Device, error) {
 	}
 }
 
+// ParseRel parses a constraint relation symbol ("<=" or ">="; "==" is not
+// accepted — metric bounds are one-sided). It is shared by the flag syntax
+// below and the policy server's JSON bound specs.
+func ParseRel(s string) (lp.Rel, error) {
+	switch strings.TrimSpace(s) {
+	case "<=":
+		return lp.LE, nil
+	case ">=":
+		return lp.GE, nil
+	}
+	return 0, fmt.Errorf("cli: relation %q must be <= or >=", s)
+}
+
 // ParseBound parses a constraint flag of the form "metric<=value" or
 // "metric>=value" (metric in power, penalty, loss, drops, service,
 // throughput).
 func ParseBound(s string) (core.Bound, error) {
-	var rel lp.Rel
 	var sep string
 	switch {
 	case strings.Contains(s, "<="):
-		rel, sep = lp.LE, "<="
+		sep = "<="
 	case strings.Contains(s, ">="):
-		rel, sep = lp.GE, ">="
+		sep = ">="
 	default:
 		return core.Bound{}, fmt.Errorf("cli: bound %q must contain <= or >=", s)
+	}
+	rel, err := ParseRel(sep)
+	if err != nil {
+		return core.Bound{}, err
 	}
 	parts := strings.SplitN(s, sep, 2)
 	metric := strings.TrimSpace(parts[0])

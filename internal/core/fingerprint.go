@@ -1,0 +1,132 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/mat"
+)
+
+// Canonical serialization: a deterministic, parameter-complete byte encoding
+// of model parameters, defined so that two systems are byte-identical
+// exactly when they describe the same optimization inputs. It exists for
+// content addressing — a resident policy server keys compiled models and
+// cached solver state by SHA-256 of this form — not for persistence, so the
+// encoding favors unambiguity over compactness: every field is tagged,
+// floats use the shortest round-trip decimal (strconv 'g'/-1, one spelling
+// per value), and every list is length-prefixed.
+
+// cw accumulates canonical bytes into an io.Writer, capturing the first
+// write error so call sites stay linear.
+type cw struct {
+	w   io.Writer
+	err error
+}
+
+func (c *cw) str(tag, s string) {
+	if c.err == nil {
+		_, c.err = fmt.Fprintf(c.w, "%s=%d:%s;", tag, len(s), s)
+	}
+}
+
+func (c *cw) num(tag string, v float64) {
+	c.str(tag, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (c *cw) count(tag string, n int) {
+	c.str(tag, strconv.Itoa(n))
+}
+
+func (c *cw) matrix(tag string, m *mat.Matrix) {
+	if m == nil {
+		c.str(tag, "nil")
+		return
+	}
+	c.str(tag, fmt.Sprintf("%dx%d", m.Rows, m.Cols))
+	for _, v := range m.Data {
+		c.num("v", v)
+	}
+}
+
+// WriteCanonical writes the provider's canonical serialization: name, state
+// and command vocabularies, all transition matrices, service rates and
+// powers.
+func (sp *ServiceProvider) WriteCanonical(w io.Writer) error {
+	c := &cw{w: w}
+	c.str("sp", sp.Name)
+	c.count("states", len(sp.States))
+	for _, s := range sp.States {
+		c.str("s", s)
+	}
+	c.count("cmds", len(sp.Commands))
+	for _, s := range sp.Commands {
+		c.str("c", s)
+	}
+	c.count("P", len(sp.P))
+	for _, p := range sp.P {
+		c.matrix("p", p)
+	}
+	c.matrix("rate", sp.ServiceRate)
+	c.matrix("power", sp.Power)
+	return c.err
+}
+
+// WriteCanonical writes the requester's canonical serialization: name,
+// state vocabulary, transition matrix and request counts.
+func (sr *ServiceRequester) WriteCanonical(w io.Writer) error {
+	c := &cw{w: w}
+	c.str("sr", sr.Name)
+	c.count("states", len(sr.States))
+	for _, s := range sr.States {
+		c.str("s", s)
+	}
+	c.matrix("p", sr.P)
+	c.count("reqs", len(sr.Requests))
+	for _, r := range sr.Requests {
+		c.count("r", r)
+	}
+	return c.err
+}
+
+// hooked reports whether any behavioral hook is set.
+func (sys *System) hooked() bool {
+	return sys.SPRow != nil || sys.PenaltyFn != nil || sys.LossFn != nil || len(sys.ExtraMetrics) > 0
+}
+
+// WriteCanonical writes the system's canonical serialization: both
+// components, the queue capacity, and the HookTag standing in for any
+// behavioral hooks. It fails on a hooked system without a HookTag — the
+// closures are not serializable, and fingerprinting them away silently
+// would let two behaviorally different systems collide.
+func (sys *System) WriteCanonical(w io.Writer) error {
+	if sys.hooked() && sys.HookTag == "" {
+		return fmt.Errorf("core: system %q has behavioral hooks but no HookTag; set one to make it fingerprintable", sys.Name)
+	}
+	c := &cw{w: w}
+	c.str("sys", sys.Name)
+	c.count("queue", sys.QueueCap)
+	c.str("hooks", sys.HookTag)
+	if c.err != nil {
+		return c.err
+	}
+	if err := sys.SP.WriteCanonical(w); err != nil {
+		return err
+	}
+	return sys.SR.WriteCanonical(w)
+}
+
+// Fingerprint returns the SHA-256 content fingerprint (hex) of the system's
+// canonical serialization. Two systems with equal fingerprints compile to
+// identical models (same chains, same metric tables up to what HookTag
+// promises), which is what lets a server share compiled models and cached
+// solver state across requests.
+func (sys *System) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := sys.WriteCanonical(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	fp := func(sys *System) string {
+		t.Helper()
+		f, err := sys.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return f
+	}
+
+	a := fp(exampleSystem())
+	if b := fp(exampleSystem()); b != a {
+		t.Errorf("identical systems fingerprint differently: %s vs %s", a, b)
+	}
+
+	// Every parameter class must move the fingerprint: a transition
+	// probability, a power entry, the queue capacity, the SR request counts.
+	perturb := []func(sys *System){
+		func(sys *System) { sys.SP.P[0].Set(0, 0, sys.SP.P[0].At(0, 0)) }, // no-op control
+		func(sys *System) { sys.SP.Power.Set(0, 0, sys.SP.Power.At(0, 0)+0.125) },
+		func(sys *System) { sys.QueueCap++ },
+		func(sys *System) { sys.SR.Requests[0]++ },
+		func(sys *System) { sys.SP.ServiceRate.Set(0, 0, sys.SP.ServiceRate.At(0, 0)/2) },
+	}
+	for i, mutate := range perturb {
+		sys := exampleSystem()
+		mutate(sys)
+		got := fp(sys)
+		if i == 0 {
+			if got != a {
+				t.Errorf("no-op mutation changed the fingerprint")
+			}
+		} else if got == a {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestFingerprintHookedSystem(t *testing.T) {
+	sys := exampleSystem()
+	sys.PenaltyFn = func(State, int) float64 { return 0 }
+	if _, err := sys.Fingerprint(); err == nil {
+		t.Fatalf("hooked system without HookTag fingerprinted")
+	}
+	sys.HookTag = "test-hook/v1"
+	a, err := sys.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint with HookTag: %v", err)
+	}
+	sys.HookTag = "test-hook/v2"
+	if b, _ := sys.Fingerprint(); b == a {
+		t.Errorf("HookTag change did not move the fingerprint")
+	}
+}
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	m := buildExample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimizeCtx(ctx, m, Options{
+		Alpha:     HorizonToAlpha(1e4),
+		Objective: Objective{Metric: MetricPower, Sense: lp.Minimize},
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if res.Status != lp.Cancelled {
+		t.Errorf("status = %v, want Cancelled", res.Status)
+	}
+}
+
+func TestParetoSweepCtxAlreadyCancelled(t *testing.T) {
+	m := buildExample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	points, err := ParetoSweepCtx(ctx, m, Options{
+		Alpha:     HorizonToAlpha(1e4),
+		Objective: Objective{Metric: MetricPower, Sense: lp.Minimize},
+	}, MetricPenalty, lp.LE, []float64{0.5, 0.4, 0.3}, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if points != nil {
+		t.Errorf("cancelled sweep returned %d points", len(points))
+	}
+}

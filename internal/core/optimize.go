@@ -97,6 +97,16 @@ var ErrInfeasible = errors.New("core: constraints infeasible")
 // (LP2 with the balance equations; LP3/LP4 when Bounds are present) and
 // extracting the optimal Markov stationary policy.
 func Optimize(m *Model, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), m, opts)
+}
+
+// OptimizeCtx is Optimize under a context. Cancellation is checked inside
+// the simplex pivot loop (lp.SolveWithBasisCtx), so a deadline or cancel
+// aborts a solve mid-flight within one pivot — the property long-lived
+// servers need to make per-request deadlines real. A cancelled solve
+// returns a Result with Status lp.Cancelled and an error satisfying
+// errors.Is against context.Canceled or context.DeadlineExceeded.
+func OptimizeCtx(ctx context.Context, m *Model, opts Options) (*Result, error) {
 	if opts.Objective.Metric == "" {
 		opts.Objective.Metric = MetricPenalty
 	}
@@ -114,12 +124,14 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	sol, basis, err := lp.SolveWithBasis(prob, opts.WarmBasis)
+	sol, basis, err := lp.SolveWithBasisCtx(ctx, prob, opts.WarmBasis)
 	res := &Result{Status: sol.Status, LPIterations: sol.Iterations, Basis: basis, WarmStarted: sol.WarmStarted}
 	if err != nil {
 		if sol.Status == lp.Infeasible {
 			return res, fmt.Errorf("core: %w: %v", ErrInfeasible, err)
 		}
+		// The lp error already wraps the context cause on cancellation, so
+		// errors.Is(err, context.Canceled/DeadlineExceeded) works here too.
 		return res, fmt.Errorf("core: policy optimization LP failed: %w", err)
 	}
 
@@ -331,7 +343,8 @@ func ParetoSweep(m *Model, opts Options, metric string, rel lp.Rel, boundValues 
 	return ParetoSweepCtx(context.Background(), m, opts, metric, rel, boundValues, false)
 }
 
-// ParetoSweepCtx is ParetoSweep with cancellation checks between points and
+// ParetoSweepCtx is ParetoSweep with cancellation — checked between points
+// and, through OptimizeCtx's lp hook, inside each solve's pivot loop — and
 // an optional cold mode that disables basis reuse entirely (including any
 // caller-supplied Options.WarmBasis), so every point solves from scratch.
 // It is the chunk worker of package sweep.
@@ -348,7 +361,7 @@ func ParetoSweepCtx(ctx context.Context, m *Model, opts Options, metric string, 
 		o := opts
 		o.Bounds = append(append([]Bound{}, opts.Bounds...), Bound{Metric: metric, Rel: rel, Value: v})
 		o.WarmBasis = warm
-		res, err := Optimize(m, o)
+		res, err := OptimizeCtx(ctx, m, o)
 		switch {
 		case err == nil:
 			if !cold {

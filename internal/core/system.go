@@ -74,6 +74,15 @@ type System struct {
 	// ExtraMetrics registers additional named metrics evaluated per
 	// (state, command).
 	ExtraMetrics map[string]func(st State, cmd int) float64
+
+	// HookTag canonically identifies the behavioral hooks above (SPRow,
+	// PenaltyFn, LossFn, ExtraMetrics) for content fingerprinting. Closures
+	// cannot be serialized, so a system that sets any hook must also carry a
+	// tag that names the hook semantics — including a version marker and any
+	// parameters the closures capture beyond the SP/SR data (e.g.
+	// "cpu-wake-on-request/v1"). Fingerprint returns an error for hooked
+	// systems without one. Hook-free systems may leave it empty.
+	HookTag string
 }
 
 // NumStates returns |S_p|·|S_r|·(Q+1).

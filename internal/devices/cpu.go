@@ -93,6 +93,10 @@ func CPUSystem(sr *core.ServiceRequester) *core.System {
 		SP:       sp,
 		SR:       sr,
 		QueueCap: 0,
+		// The hooks below close over nothing beyond the SP/SR data already
+		// in the canonical serialization, so a version tag is a complete
+		// fingerprint of their semantics.
+		HookTag: "cpu-wake-on-request/v1",
 		SPRow: func(p, cmd, r int) mat.Vector {
 			if sr.Requests[r] == 0 {
 				return nil // uncoupled: follow the commanded dynamics

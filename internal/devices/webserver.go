@@ -126,6 +126,9 @@ func WebServerSystem(sr *core.ServiceRequester) *core.System {
 		SP:       WebServerSP(),
 		SR:       sr,
 		QueueCap: 0,
+		// The hooks close over the package-constant webThroughput table and
+		// the SR (fingerprinted separately), so a version tag covers them.
+		HookTag: "webserver-throughput/v1",
 		// Throughput is the performance measure; queue-based penalty and
 		// loss are meaningless with no queue.
 		PenaltyFn: func(core.State, int) float64 { return 0 },

@@ -177,6 +177,11 @@ const (
 	Unbounded
 	IterationLimit
 	Numerical
+	// Cancelled reports that the solve was abandoned because the caller's
+	// context was cancelled or its deadline expired (SolveWithBasisCtx);
+	// the pivot loops check the context once per iteration, so cancellation
+	// takes effect within a solve, not just between solves.
+	Cancelled
 )
 
 // String returns a human-readable status.
@@ -192,6 +197,8 @@ func (s Status) String() string {
 		return "iteration limit"
 	case Numerical:
 		return "numerically unstable"
+	case Cancelled:
+		return "cancelled"
 	}
 	return "unknown"
 }

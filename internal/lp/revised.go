@@ -19,7 +19,9 @@ package lp
 // magnitude, discounts at 1−10⁻⁶) numerically honest.
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"repro/internal/mat"
 )
@@ -33,27 +35,32 @@ type eta struct {
 
 // revised is the solver state for one solve.
 type revised struct {
-	sf    *stdForm
-	basis []int // column index per row
-	pos   []int // column -> basis row, or -1
-	lu    *mat.LU
-	etas  []eta
-	xB    mat.Vector
-	d     mat.Vector // reduced costs of the active phase, maintained by pivoting
+	sf          *stdForm
+	ctx         context.Context // checked once per pivot; never nil
+	deadline    time.Time       // ctx deadline, checked directly (see cancelled)
+	hasDeadline bool
+	basis       []int // column index per row
+	pos         []int // column -> basis row, or -1
+	lu          *mat.LU
+	etas        []eta
+	xB          mat.Vector
+	d           mat.Vector // reduced costs of the active phase, maintained by pivoting
 
 	iterations    int
 	refactorEvery int
 	blandAlways   bool
 }
 
-func newRevised(sf *stdForm, conservative bool) *revised {
+func newRevised(ctx context.Context, sf *stdForm, conservative bool) *revised {
 	r := &revised{
 		sf:            sf,
+		ctx:           ctx,
 		basis:         make([]int, sf.m),
 		pos:           make([]int, sf.nTot),
 		xB:            mat.NewVector(sf.m),
 		refactorEvery: 50,
 	}
+	r.deadline, r.hasDeadline = ctx.Deadline()
 	copy(r.basis, sf.initBasis)
 	if conservative {
 		r.refactorEvery = 10
@@ -276,6 +283,20 @@ func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
 	r.iterations++
 }
 
+// cancelled reports whether the solve's context has been cancelled or its
+// deadline has passed. A pivot costs O(nnz(A) + m²), so the per-iteration
+// check is noise by comparison and gives cancellation a one-pivot response
+// time. The deadline is compared directly rather than through Err alone:
+// a deadline context is cancelled by a runtime timer goroutine, and on a
+// busy single-CPU box that goroutine may not be scheduled while the pivot
+// loop runs — polling the clock makes expiry observable regardless.
+func (r *revised) cancelled() bool {
+	if r.ctx.Err() != nil {
+		return true
+	}
+	return r.hasDeadline && time.Now().After(r.deadline)
+}
+
 // runPhase iterates to optimality, unboundedness, or the iteration cap,
 // refactorizing whenever the eta file reaches refactorEvery.
 func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
@@ -285,6 +306,9 @@ func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 	for iter := 0; ; iter++ {
 		if iter > limit {
 			return IterationLimit
+		}
+		if r.cancelled() {
+			return Cancelled
 		}
 		if len(r.etas) >= r.refactorEvery {
 			if !r.refactor() {
@@ -352,8 +376,8 @@ func (r *revised) solve() *Solution {
 			// Phase 1 is never unbounded in exact arithmetic; treat it as
 			// numerical trouble.
 			sol.Status = Numerical
-			if st == IterationLimit {
-				sol.Status = IterationLimit
+			if st == IterationLimit || st == Cancelled {
+				sol.Status = st
 			}
 			return sol
 		}
@@ -451,7 +475,7 @@ func (r *revised) dualSimplex() bool {
 	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
 	r.recomputeD(r.sf.cost2)
 	for iter := 0; ; iter++ {
-		if iter > limit {
+		if iter > limit || r.cancelled() {
 			return false
 		}
 		if len(r.etas) >= r.refactorEvery {
@@ -510,12 +534,12 @@ func (r *revised) dualSimplex() bool {
 }
 
 // solveRevised runs one cold revised-simplex solve.
-func solveRevised(p *Problem, conservative bool) (*Solution, *revised) {
+func solveRevised(ctx context.Context, p *Problem, conservative bool) (*Solution, *revised) {
 	sf, preStatus := newStdForm(p)
 	if preStatus != Optimal {
 		return &Solution{Status: preStatus}, nil
 	}
-	r := newRevised(sf, conservative)
+	r := newRevised(ctx, sf, conservative)
 	sol := r.solve()
 	if sol.Status != Optimal {
 		return sol, nil

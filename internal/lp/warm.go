@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -69,18 +70,36 @@ func notOptimalErr(s Status) error {
 // status it also returns the optimal basis for chaining into the next solve;
 // otherwise the returned basis is nil. A nil warm basis is a cold solve.
 func SolveWithBasis(p *Problem, warm *Basis) (*Solution, *Basis, error) {
+	return SolveWithBasisCtx(context.Background(), p, warm)
+}
+
+// SolveWithBasisCtx is SolveWithBasis under a context: the pivot loops check
+// ctx once per iteration, so cancelling it (or letting its deadline expire)
+// aborts the solve within one pivot. A cancelled solve returns a Solution
+// with Status Cancelled and an error satisfying errors.Is against
+// context.Canceled or context.DeadlineExceeded (via context.Cause).
+func SolveWithBasisCtx(ctx context.Context, p *Problem, warm *Basis) (*Solution, *Basis, error) {
 	var sol *Solution
 	var r *revised
 	if warm != nil {
-		sol, r = solveWarm(p, warm)
+		sol, r = solveWarm(ctx, p, warm)
 	}
 	if sol == nil {
-		sol, r = solveRevised(p, false)
+		sol, r = solveRevised(ctx, p, false)
 		if sol.Status == Numerical {
 			// Retry with Bland's rule from the start and aggressive
 			// refactorization; slower but maximally stable.
-			sol, r = solveRevised(p, true)
+			sol, r = solveRevised(ctx, p, true)
 		}
+	}
+	if sol.Status == Cancelled {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			// The deadline was observed directly before the context's timer
+			// goroutine ran (see revised.cancelled).
+			cause = context.DeadlineExceeded
+		}
+		return sol, nil, fmt.Errorf("lp: solve cancelled: %w", cause)
 	}
 	if sol.Status != Optimal {
 		return sol, nil, notOptimalErr(sol.Status)
@@ -92,9 +111,11 @@ func SolveWithBasis(p *Problem, warm *Basis) (*Solution, *Basis, error) {
 
 // solveWarm attempts a warm-started solve. It returns (nil, nil) whenever
 // the basis cannot be reused, signalling the caller to fall back to a cold
-// solve; a non-nil Solution is definitive (the presolve-infeasible case or a
-// completed, verified phase-2 run).
-func solveWarm(p *Problem, warm *Basis) (*Solution, *revised) {
+// solve; a non-nil Solution is definitive (the presolve-infeasible case, a
+// completed and verified phase-2 run, or a cancelled solve — falling back to
+// a cold solve after cancellation would only discover the same dead context
+// again).
+func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revised) {
 	sf, preStatus := newStdForm(p)
 	if preStatus != Optimal {
 		// Trivial presolve verdicts don't depend on the starting basis.
@@ -103,7 +124,7 @@ func solveWarm(p *Problem, warm *Basis) (*Solution, *revised) {
 	if !warm.compatible(sf) {
 		return nil, nil
 	}
-	r := newRevised(sf, false)
+	r := newRevised(ctx, sf, false)
 	copy(r.basis, warm.cols)
 	r.rebuildPos()
 	if !r.refactor() {
@@ -122,10 +143,16 @@ func solveWarm(p *Problem, warm *Basis) (*Solution, *revised) {
 		// basis the reduced costs are still nonnegative (they do not depend
 		// on the RHS), which is exactly the dual-simplex entry condition.
 		if !r.dualFeasible() || !r.dualSimplex() {
+			if r.cancelled() {
+				return &Solution{Status: Cancelled, Iterations: r.iterations}, nil
+			}
 			return nil, nil
 		}
 	}
 	sol := r.phase2()
+	if sol.Status == Cancelled {
+		return sol, nil
+	}
 	if sol.Status != Optimal || !sf.verify(sol.X) {
 		return nil, nil // let the battle-tested cold path have it
 	}

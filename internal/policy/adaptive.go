@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/trace"
 )
 
@@ -36,14 +37,36 @@ type Adaptive struct {
 	// Seed makes the stationary-policy sampling reproducible.
 	Seed int64
 
-	buf     []int
-	filled  bool
-	pos     int
-	sinceRe int
-	srState func(int) int
-	current *Stationary
-	sys     *core.System
+	buf       []int
+	filled    bool
+	pos       int
+	sinceRe   int
+	srState   func(int) int
+	current   *Stationary
+	sys       *core.System
+	lastBasis *lp.Basis
+	stats     RefreshStats
 }
+
+// RefreshStats summarizes the controller's re-optimizations. The k-memory
+// extractor always yields 2^k SR states, so consecutive refreshes solve
+// structurally identical LPs whose coefficients drift with the workload —
+// exactly the shape warm starting exists for: each refresh reuses the
+// previous optimal basis and typically needs far fewer pivots than a cold
+// solve (the same near-hit path a policy server takes for repeat models).
+type RefreshStats struct {
+	// Refreshes counts successful re-optimizations.
+	Refreshes int
+	// WarmStarted counts refreshes whose LP actually reused the previous
+	// basis (the first refresh is always cold; later ones may fall back).
+	WarmStarted int
+	// LastPivots is the simplex pivot count of the most recent refresh.
+	LastPivots int
+}
+
+// Stats returns cumulative refresh statistics; they survive Reset (which
+// discards the model and basis, not the diagnostics).
+func (a *Adaptive) Stats() RefreshStats { return a.stats }
 
 // Reset implements Controller. It clears the observation window and the
 // current policy (a new session may have a new workload).
@@ -54,6 +77,7 @@ func (a *Adaptive) Reset() {
 	a.sinceRe = 0
 	a.current = nil
 	a.srState = nil
+	a.lastBasis = nil
 	if a.Fallback != nil {
 		a.Fallback.Reset()
 	}
@@ -90,7 +114,11 @@ func (a *Adaptive) Command(obs Observation) int {
 }
 
 // refresh re-extracts the workload model from the window and re-optimizes;
-// failures leave the previous policy in place.
+// failures leave the previous policy in place. Because the SP and queue
+// structure are fixed and the extractor's state count is fixed by Memory,
+// each refresh's LP is structurally identical to the previous one, so the
+// solve warm-starts from the last optimal basis (lp.SolveWithBasis falls
+// back to a cold solve transparently if the basis does not carry over).
 func (a *Adaptive) refresh() {
 	window := make([]int, 0, a.Window)
 	window = append(window, a.buf[a.pos:]...)
@@ -110,6 +138,7 @@ func (a *Adaptive) refresh() {
 	opts := a.Opts
 	opts.Initial = core.Uniform(m.N)
 	opts.SkipEvaluation = true
+	opts.WarmBasis = a.lastBasis
 	res, err := core.Optimize(m, opts)
 	if err != nil {
 		return
@@ -120,6 +149,12 @@ func (a *Adaptive) refresh() {
 	}
 	a.current = ctrl
 	a.sys = sys
+	a.lastBasis = res.Basis
+	a.stats.Refreshes++
+	if res.WarmStarted {
+		a.stats.WarmStarted++
+	}
+	a.stats.LastPivots = res.LPIterations
 }
 
 // CurrentSystem returns the system of the most recent successful refresh

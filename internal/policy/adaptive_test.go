@@ -217,3 +217,62 @@ func TestAdaptiveStationaryConverges(t *testing.T) {
 			costAdaptive, costStatic)
 	}
 }
+
+// TestAdaptiveRefreshWarmStarts: the server-style re-solve path. SR
+// parameters drift between refreshes, so each re-optimization solves a
+// structurally identical LP with perturbed coefficients; every refresh
+// after the first must reuse the previous optimal basis (warm path taken)
+// and pay fewer simplex pivots than the cold first solve.
+func TestAdaptiveRefreshWarmStarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Gentle drift: burst persistence shifts regime midway through.
+	counts := trace.Concat(
+		trace.OnOff(rng, 600, 0.10, 0.20),
+		trace.OnOff(rng, 600, 0.15, 0.10),
+	)
+
+	a := &policy.Adaptive{
+		Rebuild:  adaptiveSystem,
+		Opts:     adaptiveOpts(),
+		Window:   200,
+		Period:   100,
+		Memory:   1,
+		Fallback: &policy.Greedy{WakeCmd: 0, SleepCmd: 1},
+		Seed:     3,
+	}
+	a.Reset()
+
+	var coldPivots int
+	warmPivots := -1
+	prev := a.Stats()
+	for i, c := range counts {
+		a.Command(policy.Observation{Requests: c, Time: int64(i)})
+		st := a.Stats()
+		if st.Refreshes > prev.Refreshes {
+			switch {
+			case st.Refreshes == 1:
+				if st.WarmStarted != 0 {
+					t.Errorf("first refresh claims a warm start with no prior basis")
+				}
+				coldPivots = st.LastPivots
+			case st.WarmStarted > prev.WarmStarted:
+				warmPivots = st.LastPivots
+			default:
+				t.Errorf("refresh %d fell back to a cold solve", st.Refreshes)
+			}
+		}
+		prev = st
+	}
+	if prev.Refreshes < 2 {
+		t.Fatalf("only %d refreshes; the warm path was never exercised", prev.Refreshes)
+	}
+	if warmPivots < 0 {
+		t.Fatalf("no refresh warm-started")
+	}
+	if coldPivots == 0 {
+		t.Fatalf("cold refresh reports zero pivots; counter broken?")
+	}
+	if warmPivots >= coldPivots {
+		t.Errorf("warm refresh took %d pivots, cold took %d; want warm < cold", warmPivots, coldPivots)
+	}
+}

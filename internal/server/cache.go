@@ -1,0 +1,149 @@
+package server
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// solveCache is the fingerprint-keyed LRU over solved queries. Each entry
+// carries up to three payloads:
+//
+//   - a *core.Result for exact hits (same model, options and bound values:
+//     answered with zero pivots),
+//   - an *lp.Basis plus the entry's bound-value vector, indexed by warm
+//     family (same model and options, any bound values) so a near-hit query
+//     warm-starts from the nearest cached vertex, and
+//   - a *SweepResponse for exact sweep hits.
+//
+// One LRU bounds all of it: evicting an entry drops its result, its basis
+// and its family-index membership together, so memory is capped by a single
+// knob. Bases are small (m ints) next to results (N×A frequencies), but the
+// results are what exact hits need, and keeping the two lifetimes identical
+// keeps the accounting honest.
+type solveCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	items    map[string]*list.Element
+	families map[string]map[string]*cacheEntry // family -> key -> entry
+}
+
+type cacheEntry struct {
+	key    string
+	family string    // empty: not in the warm index
+	bounds []float64 // bound values, aligned with the family's bound rows
+	result *core.Result
+	basis  *lp.Basis
+	sweep  *SweepResponse
+}
+
+func newSolveCache(capacity int) *solveCache {
+	return &solveCache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		families: make(map[string]map[string]*cacheEntry),
+	}
+}
+
+// get returns the entry for the exact key (touching it), or nil.
+func (c *solveCache) get(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts or refreshes an entry and returns the number of evictions it
+// caused (0 or 1).
+func (c *solveCache) put(e *cacheEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		c.removeFromFamily(el.Value.(*cacheEntry))
+		el.Value = e
+		c.ll.MoveToFront(el)
+		c.addToFamily(e)
+		return 0
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	c.addToFamily(e)
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		victim := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.removeFromFamily(victim)
+		evicted++
+	}
+	return evicted
+}
+
+// nearest returns the cached basis of the family member whose bound-value
+// vector is closest (Euclidean) to vals, or nil. It does not touch LRU
+// order: consulting a basis is free-riding, not a use of the entry's
+// result.
+func (c *solveCache) nearest(family string, vals []float64) *lp.Basis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best, bestD := (*cacheEntry)(nil), math.Inf(1)
+	for _, e := range c.families[family] {
+		if e.basis == nil || len(e.bounds) != len(vals) {
+			continue
+		}
+		d := 0.0
+		for i, v := range vals {
+			dv := v - e.bounds[i]
+			d += dv * dv
+		}
+		if d < bestD {
+			best, bestD = e, d
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.basis
+}
+
+// len returns the number of cached entries.
+func (c *solveCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// addToFamily and removeFromFamily maintain the warm index; both run under
+// c.mu.
+func (c *solveCache) addToFamily(e *cacheEntry) {
+	if e.family == "" || e.basis == nil {
+		return
+	}
+	fam, ok := c.families[e.family]
+	if !ok {
+		fam = make(map[string]*cacheEntry)
+		c.families[e.family] = fam
+	}
+	fam[e.key] = e
+}
+
+func (c *solveCache) removeFromFamily(e *cacheEntry) {
+	if e.family == "" {
+		return
+	}
+	if fam, ok := c.families[e.family]; ok {
+		delete(fam, e.key)
+		if len(fam) == 0 {
+			delete(c.families, e.family)
+		}
+	}
+}

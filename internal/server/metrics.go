@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// counters is the server's observability surface: monotone counters over
+// how queries were served. They are exported two ways — JSON on /v1/stats
+// and Prometheus-style text on /metrics — and drive the end-to-end tests,
+// which replay a query stream and assert on exactly these numbers.
+type counters struct {
+	Requests        atomic.Int64 // HTTP requests across all endpoints
+	OptimizeQueries atomic.Int64 // POST /v1/optimize bodies accepted
+	SweepQueries    atomic.Int64 // POST /v1/sweep bodies accepted
+	ExactHits       atomic.Int64 // queries answered from the result cache
+	WarmSolves      atomic.Int64 // solves that reused a cached basis
+	ColdSolves      atomic.Int64 // solves from scratch
+	SharedSolves    atomic.Int64 // queries deduplicated onto an in-flight solve
+	Infeasible      atomic.Int64 // solves that proved the constraints infeasible
+	CancelledSolves atomic.Int64 // solves aborted by deadline or detach
+	Pivots          atomic.Int64 // total simplex pivots performed
+	Evictions       atomic.Int64 // cache entries evicted by the LRU
+}
+
+// snapshot returns the counters as a name→value map (sorted rendering is
+// the caller's concern; map iteration order is irrelevant for JSON).
+func (c *counters) snapshot() map[string]int64 {
+	return map[string]int64{
+		"requests":         c.Requests.Load(),
+		"optimize_queries": c.OptimizeQueries.Load(),
+		"sweep_queries":    c.SweepQueries.Load(),
+		"exact_hits":       c.ExactHits.Load(),
+		"warm_solves":      c.WarmSolves.Load(),
+		"cold_solves":      c.ColdSolves.Load(),
+		"shared_solves":    c.SharedSolves.Load(),
+		"infeasible":       c.Infeasible.Load(),
+		"cancelled_solves": c.CancelledSolves.Load(),
+		"pivots":           c.Pivots.Load(),
+		"evictions":        c.Evictions.Load(),
+	}
+}
+
+// writeProm renders the counters (plus caller-supplied gauges such as cache
+// and registry sizes) in Prometheus text exposition format, with a stable
+// name order, under the dpmserved_ prefix.
+func (c *counters) writeProm(w io.Writer, gauges map[string]int64) {
+	emit := func(vals map[string]int64, typ string) {
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(w, "# TYPE dpmserved_%s %s\ndpmserved_%s %d\n", k, typ, k, vals[k])
+		}
+	}
+	emit(c.snapshot(), "counter")
+	emit(gauges, "gauge")
+}

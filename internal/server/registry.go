@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// modelEntry is one resident compiled model: the system, its composed
+// controlled Markov chain, and the content fingerprint both are addressed
+// by. Compilation happens exactly once, at registration; every query
+// against the model reuses the resident core.Model.
+type modelEntry struct {
+	ID    string // content fingerprint (sha256 hex of the canonical form)
+	Name  string
+	Desc  string
+	Sys   *core.System
+	Model *core.Model
+}
+
+func (e *modelEntry) info() ModelInfo {
+	metrics := make([]string, 0, len(e.Model.Metrics))
+	for name := range e.Model.Metrics {
+		metrics = append(metrics, name)
+	}
+	sort.Strings(metrics)
+	return ModelInfo{
+		ID:       e.ID,
+		Name:     e.Name,
+		Desc:     e.Desc,
+		States:   e.Model.N,
+		Commands: e.Model.A,
+		Metrics:  metrics,
+	}
+}
+
+// registry holds the resident models, addressable by content id or by
+// name. Registration is idempotent on content: posting parameters that
+// fingerprint to an already-compiled model returns the existing entry.
+type registry struct {
+	mu     sync.RWMutex
+	byID   map[string]*modelEntry
+	byName map[string]string // registered name -> id (first binding wins; see register)
+	order  []string          // ids in first-registration order
+}
+
+func newRegistry() *registry {
+	return &registry{byID: make(map[string]*modelEntry), byName: make(map[string]string)}
+}
+
+// register fingerprints and compiles the system. The boolean reports
+// whether the content was already resident (no compilation happened).
+func (r *registry) register(sys *core.System, desc string) (*modelEntry, bool, error) {
+	fp, err := sys.Fingerprint()
+	if err != nil {
+		return nil, false, fmt.Errorf("fingerprinting model %q: %w", sys.Name, err)
+	}
+
+	r.mu.RLock()
+	e, ok := r.byID[fp]
+	r.mu.RUnlock()
+	if ok {
+		return e, true, nil
+	}
+
+	// Compile outside the lock: Build is the expensive step and two racing
+	// registrations of the same content are idempotent anyway.
+	m, err := sys.Build()
+	if err != nil {
+		return nil, false, fmt.Errorf("compiling model %q: %w", sys.Name, err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.byID[fp]; ok {
+		return prior, true, nil
+	}
+	e = &modelEntry{ID: fp, Name: sys.Name, Desc: desc, Sys: sys, Model: m}
+	r.byID[fp] = e
+	// Names bind first-wins: presets register at startup and keep their
+	// names; a posted model whose name collides is still fully addressable
+	// by its content id, and cannot silently shadow "disk" for everyone
+	// else.
+	if _, taken := r.byName[sys.Name]; !taken {
+		r.byName[sys.Name] = fp
+	}
+	r.order = append(r.order, fp)
+	return e, false, nil
+}
+
+// resolve looks a model up by content id first, then by registered name.
+func (r *registry) resolve(ref string) (*modelEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.byID[ref]; ok {
+		return e, true
+	}
+	if id, ok := r.byName[ref]; ok {
+		return r.byID[id], true
+	}
+	return nil, false
+}
+
+// list returns the registered models in first-registration order.
+func (r *registry) list() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id].info())
+	}
+	return out
+}
+
+// size returns the number of resident models.
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

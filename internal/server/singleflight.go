@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightGroup deduplicates concurrent identical queries: the first request
+// for a fingerprint becomes the leader and runs the solve; requests that
+// arrive while it is in flight attach as waiters and share the one result.
+// A thundering herd of identical queries therefore compiles and solves
+// once.
+//
+// Unlike the classic singleflight, cancellation is reference-counted: each
+// waiter that gives up (its request context cancelled or expired) detaches
+// individually and gets its own context error promptly, and when the last
+// interested request detaches the shared solve itself is cancelled — which,
+// through the lp-layer hook, aborts the simplex mid-pivot instead of
+// burning a core on an answer nobody is waiting for. The solve runs on a
+// context derived from the server's base context (not the leader's), so an
+// impatient leader does not take the herd down with it.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{} // closed when val/err are set
+	cancel  context.CancelFunc
+	waiters int
+	val     any
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// do returns fn's result for key, sharing one invocation among concurrent
+// callers. shared reports whether this caller joined an existing flight.
+// fn receives a context bounded by timeout (the leader's budget) and
+// cancelled when every caller has detached; it must honor cancellation
+// promptly. A joiner whose own deadline outlives a flight that died on the
+// leader's shorter one should retry rather than surface the leader's
+// context error as its own — Server.doSolve implements that loop.
+func (g *flightGroup) do(ctx context.Context, base context.Context, key string, timeout time.Duration, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+	} else {
+		solveCtx, cancel := context.WithTimeout(base, timeout)
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		g.flights[key] = f
+		go func() {
+			v, err := fn(solveCtx)
+			cancel()
+			g.mu.Lock()
+			f.val, f.err = v, err
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, ok, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			// Nobody is listening anymore: abort the solve and retire the
+			// flight so a later identical query starts fresh instead of
+			// joining a corpse.
+			f.cancel()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, ok, context.Cause(ctx)
+	}
+}

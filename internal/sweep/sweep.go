@@ -24,7 +24,11 @@
 // sequential core.ParetoSweep path (on a degenerate LP the extracted
 // policy may be a different optimum of equal objective).
 // This is also the seam for future scaling: a sharded or multi-backend
-// solver only needs to replace the chunk worker.
+// solver only needs to replace the chunk worker — internal/server already
+// drives Pareto as its /v1/sweep backend. Cancelling the sweep context
+// aborts not just between points but inside the active solves: the chunk
+// worker runs core.OptimizeCtx, whose lp layer checks the context once per
+// simplex pivot.
 package sweep
 
 import (

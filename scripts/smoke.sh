@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Smoke test for dpmserved: start the daemon, verify health, run one
+# optimize query end to end (cold solve, then an exact cache hit), and shut
+# it down cleanly. CI runs this against a race-instrumented binary
+# (`make smoke`); it needs only bash + curl.
+set -euo pipefail
+
+BIN="${1:?usage: smoke.sh path/to/dpmserved}"
+LOG="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+# The daemon prints "dpmserved: listening on http://127.0.0.1:PORT".
+URL=""
+for _ in $(seq 1 100); do
+  URL=$(sed -n 's/^dpmserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$LOG" | head -n1)
+  [ -n "$URL" ] && break
+  kill -0 "$PID" 2>/dev/null || { echo "smoke: daemon died at startup"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$URL" ] || { echo "smoke: no listening line in log"; cat "$LOG"; exit 1; }
+echo "smoke: daemon at $URL"
+
+fail() { echo "smoke: $1"; echo "--- response: $2"; exit 1; }
+
+HEALTH=$(curl -sSf "$URL/v1/healthz")
+echo "$HEALTH" | grep -q '"status": "ok"' || fail "healthz not ok" "$HEALTH"
+
+REQ='{"model":"disk","objective":"power","bounds":[{"metric":"penalty","rel":"<=","value":1.0}]}'
+COLD=$(curl -sSf -X POST -d "$REQ" "$URL/v1/optimize")
+echo "$COLD" | grep -q '"status": "optimal"' || fail "cold solve not optimal" "$COLD"
+echo "$COLD" | grep -q '"cache": "cold"' || fail "first query not a cold solve" "$COLD"
+
+HIT=$(curl -sSf -X POST -d "$REQ" "$URL/v1/optimize")
+echo "$HIT" | grep -q '"cache": "hit"' || fail "repeat query not a cache hit" "$HIT"
+echo "$HIT" | grep -q '"pivots": 0' || fail "cache hit paid pivots" "$HIT"
+
+curl -sSf "$URL/metrics" | grep -q '^dpmserved_exact_hits 1$' || { echo "smoke: exact_hits counter != 1"; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" || { echo "smoke: daemon exited non-zero on SIGTERM"; exit 1; }
+echo "smoke: ok (cold solve, cache hit, clean shutdown)"
