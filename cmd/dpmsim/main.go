@@ -60,7 +60,7 @@ func run(device, pol, bounds string, horizon float64, timeout int64, sleepCmd st
 	sleep := m.A - 1
 	if sleepCmd != "" {
 		if sleep = d.Sys.SP.CommandIndex(sleepCmd); sleep < 0 {
-			return fmt.Errorf("unknown command %q (have %v)", sleepCmd, d.Sys.SP.Commands)
+			return fmt.Errorf("unknown command %q (have %v)", sleepCmd, d.Sys.SP.CommandNames())
 		}
 	}
 
@@ -148,7 +148,7 @@ func run(device, pol, bounds string, horizon float64, timeout int64, sleepCmd st
 	}
 	fmt.Println("command usage:")
 	for c, n := range st.CommandCounts {
-		fmt.Printf("  %-12s %d\n", d.Sys.SP.Commands[c], n)
+		fmt.Printf("  %-12s %d\n", d.Sys.SP.CommandNames()[c], n)
 	}
 	return nil
 }

@@ -35,12 +35,15 @@
 //   - internal/trace — request traces, the SR extractor and synthetic
 //     workload generators;
 //   - internal/mat — the linear-algebra substrate: dense vectors and
-//     matrices with an LU solver, and the sparse kernel (triplet builder,
+//     matrices with an LU solver, the sparse kernel (triplet builder,
 //     CSR/CSC, sparse×dense products, stochastic validation on sparse
-//     form) that the composed chains and the LP columns live in;
+//     form) that the composed chains and the LP columns live in, and the
+//     sparse Kronecker kernels (mat.Kron, mat.KronAll) that compile
+//     product chains directly in CSR;
 //   - internal/devices — the paper's case-study models (example system,
-//     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU,
-//     and the mini-disk CompositeSP network fixture);
+//     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU)
+//     plus the composite fixtures: mini-disk, NIC, the k-disk
+//     MultiDiskSystem and the masked disk+CPU+NIC HeterogeneousSystem;
 //   - internal/server — the resident policy-serving subsystem behind
 //     cmd/dpmserved: an HTTP/JSON daemon holding compiled models resident,
 //     answering optimize/sweep queries from a cache keyed by a content
@@ -64,6 +67,30 @@
 //	        Bounds:    []repro.Bound{{Metric: repro.MetricPenalty, Rel: repro.LE, Value: 0.5}},
 //	})
 //	fmt.Println(res.Objective, res.Policy)
+//
+// # Composite and heterogeneous systems
+//
+// Networks of independent service providers (paper Section VII) are built
+// in factored form with core.Composite: the parts, a service-rate combiner,
+// and optional command masks. Build compiles the joint chain instead of
+// enumerating it — each joint per-command transition matrix is the
+// Kronecker product of the part chains, assembled directly in CSR
+// (mat.KronAll), and the joint power/rate surfaces are evaluated on demand
+// from the factors, so the provider keeps no dense |S|×|S| or |S|×|A|
+// table and nothing scales with the unmasked command space (the compiled
+// system Model still tabulates metrics densely over the masked commands
+// only). The compiled *core.FactoredSP satisfies the same
+// core.Provider contract as a hand-written *core.ServiceProvider and drops
+// into a System anywhere one does (build, optimize, serve, simulate).
+//
+// Masking is how the A = Π aᵢ joint-command blowup is tamed:
+// Composite.PartCommands restricts each part to a subset of its own
+// commands, and Composite.Allow prunes joint combinations — e.g. the
+// single-command-bus discipline ("retarget at most one component per
+// slice") used by devices.HeterogeneousSystem, which collapses a
+// six-component platform's 144 joint commands to 8. The legacy dense
+// CompositeSP remains as the parity reference; the factored path is
+// exercised against it to 1e-8 by the randomized parity suite.
 //
 // See README.md for the tool suite (cmd/...) and EXPERIMENTS.md for the
 // paper-versus-measured record of every reproduced table and figure.
@@ -190,4 +217,22 @@ var (
 	// parameters.
 	BaselineSystem  = devices.BaselineSystem
 	DefaultBaseline = devices.DefaultBaseline
+	// MultiDiskSystem composes k mini-disks on a shared queue and
+	// HeterogeneousSystem a masked disk+CPU+NIC platform, both compiled in
+	// factored Kronecker form (Section VII device networks).
+	MultiDiskSystem     = devices.MultiDiskSystem
+	HeterogeneousSystem = devices.HeterogeneousSystem
+)
+
+// Factored composite types (Section VII device networks).
+type (
+	// Composite is the factored form of a network of independent service
+	// providers: parts + rate combiner + command masks; Build compiles it
+	// to a FactoredSP whose joint chains are CSR Kronecker products.
+	Composite = core.Composite
+	// FactoredSP is a compiled Composite, usable as System.SP.
+	FactoredSP = core.FactoredSP
+	// Provider is the service-provider contract System consumes; both
+	// *ServiceProvider and *FactoredSP satisfy it.
+	Provider = core.Provider
 )

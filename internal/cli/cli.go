@@ -26,7 +26,7 @@ type Device struct {
 
 // DeviceNames lists the devices accepted by NewDevice.
 func DeviceNames() []string {
-	return []string{"example", "baseline", "disk", "webserver", "cpu"}
+	return []string{"example", "baseline", "disk", "webserver", "cpu", "multidisk", "heterogeneous"}
 }
 
 // NewDevice builds a named device. p01/p10 parameterize the two-state
@@ -76,6 +76,26 @@ func NewDevice(name string, p01, p10 float64) (*Device, error) {
 			Sys:     devices.CPUSystem(sr),
 			Initial: core.State{SP: devices.CPUActive},
 			Desc:    "ARM SA-1100 CPU with wake-on-request, Section VI-C (Δt = 50 ms)",
+		}, nil
+	case "multidisk":
+		sys, err := devices.MultiDiskSystem(4, 2, sr)
+		if err != nil {
+			return nil, err
+		}
+		return &Device{
+			Sys:     sys,
+			Initial: core.State{SP: 0},
+			Desc:    "four mini-disks on a shared queue, Kronecker-compiled (Section VII network)",
+		}, nil
+	case "heterogeneous":
+		sys, err := devices.HeterogeneousSystem(3, 2, sr)
+		if err != nil {
+			return nil, err
+		}
+		return &Device{
+			Sys:     sys,
+			Initial: core.State{SP: 0},
+			Desc:    "disk + CPU + NIC platform, Kronecker-compiled with single-command-bus masking",
 		}, nil
 	default:
 		return nil, fmt.Errorf("cli: unknown device %q (have %v)", name, DeviceNames())
@@ -166,7 +186,7 @@ func PrintPolicy(w io.Writer, sys *core.System, res *core.Result) error {
 	if _, err := fmt.Fprintf(w, "%-24s %-12s", "state", "freq"); err != nil {
 		return err
 	}
-	for _, c := range sys.SP.Commands {
+	for _, c := range sys.SP.CommandNames() {
 		fmt.Fprintf(w, " %12s", c)
 	}
 	fmt.Fprintln(w)

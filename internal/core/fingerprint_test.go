@@ -25,12 +25,13 @@ func TestFingerprintDeterministicAndSensitive(t *testing.T) {
 
 	// Every parameter class must move the fingerprint: a transition
 	// probability, a power entry, the queue capacity, the SR request counts.
+	dsp := func(sys *System) *ServiceProvider { return sys.SP.(*ServiceProvider) }
 	perturb := []func(sys *System){
-		func(sys *System) { sys.SP.P[0].Set(0, 0, sys.SP.P[0].At(0, 0)) }, // no-op control
-		func(sys *System) { sys.SP.Power.Set(0, 0, sys.SP.Power.At(0, 0)+0.125) },
+		func(sys *System) { dsp(sys).P[0].Set(0, 0, dsp(sys).P[0].At(0, 0)) }, // no-op control
+		func(sys *System) { dsp(sys).Power.Set(0, 0, dsp(sys).Power.At(0, 0)+0.125) },
 		func(sys *System) { sys.QueueCap++ },
 		func(sys *System) { sys.SR.Requests[0]++ },
-		func(sys *System) { sys.SP.ServiceRate.Set(0, 0, sys.SP.ServiceRate.At(0, 0)/2) },
+		func(sys *System) { dsp(sys).ServiceRate.Set(0, 0, dsp(sys).ServiceRate.At(0, 0)/2) },
 	}
 	for i, mutate := range perturb {
 		sys := exampleSystem()

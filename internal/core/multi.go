@@ -20,8 +20,15 @@ import (
 // command index: joint = Σᵢ idxᵢ·Πⱼ<ᵢ sizeⱼ. Joint state and command names
 // join the component names with "+".
 //
-// The paper's warning applies: the joint state space grows as the product
-// of the component sizes, so this is for small component counts.
+// The paper's warning applies doubly here: the joint state space grows as
+// the product of the component sizes and this builder materializes it
+// densely — one |S|×|S| matrix per joint command plus dense |S|×|A| rate
+// and power tables — so it is only usable for small component counts. It
+// is retained as the behavioral reference the factored pipeline is held
+// to: Composite compiles the identical model in CSR via Kronecker products
+// without any dense intermediate (and adds command masking), and the
+// randomized parity suite keeps the two within 1e-8 of each other. New
+// composites should use Composite.
 func CompositeSP(name string, parts []*ServiceProvider, rate func(states, cmds []int) float64) (*ServiceProvider, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("core: CompositeSP needs at least one part")

@@ -80,6 +80,11 @@ type Result struct {
 	Eval *Evaluation
 	// LPIterations counts simplex pivots.
 	LPIterations int
+	// LPRefactorizations counts full basis refactorizations (each a dense
+	// O(m³) LU of the basis matrix). Together with LPIterations this is the
+	// solver work a query actually performed — what the composite benchmarks
+	// report next to wall time.
+	LPRefactorizations int
 	// Basis is the optimal LP basis, reusable as Options.WarmBasis for the
 	// next solve of a structurally identical problem.
 	Basis *lp.Basis
@@ -125,7 +130,13 @@ func OptimizeCtx(ctx context.Context, m *Model, opts Options) (*Result, error) {
 	}
 
 	sol, basis, err := lp.SolveWithBasisCtx(ctx, prob, opts.WarmBasis)
-	res := &Result{Status: sol.Status, LPIterations: sol.Iterations, Basis: basis, WarmStarted: sol.WarmStarted}
+	res := &Result{
+		Status:             sol.Status,
+		LPIterations:       sol.Iterations,
+		LPRefactorizations: sol.Refactorizations,
+		Basis:              basis,
+		WarmStarted:        sol.WarmStarted,
+	}
 	if err != nil {
 		if sol.Status == lp.Infeasible {
 			return res, fmt.Errorf("core: %w: %v", ErrInfeasible, err)

@@ -2,9 +2,48 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/mat"
 )
+
+// Provider is the service-provider contract the composition pipeline and the
+// tools consume: a finite controlled Markov chain exposed command-by-command
+// in sparse form, per-(state, command) service rate and power, naming for
+// diagnostics, and a canonical serialization for content fingerprinting.
+//
+// Two implementations exist: *ServiceProvider, the explicit (dense-tabled)
+// form every paper case study uses, and *FactoredSP, the Kronecker-factored
+// form a Composite compiles to, whose joint chain is assembled sparsely and
+// whose rate/power are evaluated on demand — never tabulated densely. System
+// composition (System.Build) works against this interface only, so the two
+// forms are interchangeable everywhere a system is built, solved, served, or
+// simulated.
+type Provider interface {
+	// ProviderName identifies the provider in diagnostics.
+	ProviderName() string
+	// N is the number of states; A the number of commands.
+	N() int
+	A() int
+	// StateNames and CommandNames return the vocabularies; callers must not
+	// mutate the returned slices.
+	StateNames() []string
+	CommandNames() []string
+	// CommandIndex returns the index of the named command, or -1.
+	CommandIndex(name string) int
+	// Chain returns the transition matrix under command a in CSR form. The
+	// returned matrix may be shared; callers must not mutate it.
+	Chain(a int) *mat.CSR
+	// RateAt returns the service rate b(s,a) in [0,1].
+	RateAt(s, a int) float64
+	// PowerAt returns the power consumption c(s,a).
+	PowerAt(s, a int) float64
+	// Validate checks structural consistency.
+	Validate() error
+	// WriteCanonical writes the deterministic, parameter-complete byte
+	// encoding used for content fingerprinting (see fingerprint.go).
+	WriteCanonical(w io.Writer) error
+}
 
 // ServiceProvider is the resource under power management (paper
 // Definition 3.1): a stationary controlled Markov process with one
@@ -35,6 +74,24 @@ func (sp *ServiceProvider) N() int { return len(sp.States) }
 
 // A returns the number of commands.
 func (sp *ServiceProvider) A() int { return len(sp.Commands) }
+
+// ProviderName returns the provider's name.
+func (sp *ServiceProvider) ProviderName() string { return sp.Name }
+
+// StateNames returns the state vocabulary.
+func (sp *ServiceProvider) StateNames() []string { return sp.States }
+
+// CommandNames returns the command vocabulary.
+func (sp *ServiceProvider) CommandNames() []string { return sp.Commands }
+
+// Chain returns the transition matrix under command a compressed to CSR.
+func (sp *ServiceProvider) Chain(a int) *mat.CSR { return mat.FromDense(sp.P[a]) }
+
+// RateAt returns the service rate b(s,a).
+func (sp *ServiceProvider) RateAt(s, a int) float64 { return sp.ServiceRate.At(s, a) }
+
+// PowerAt returns the power consumption c(s,a).
+func (sp *ServiceProvider) PowerAt(s, a int) float64 { return sp.Power.At(s, a) }
 
 // StateIndex returns the index of the named state, or -1.
 func (sp *ServiceProvider) StateIndex(name string) int {

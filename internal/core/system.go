@@ -45,8 +45,10 @@ type State struct {
 type System struct {
 	// Name identifies the system in diagnostics and reports.
 	Name string
-	// SP is the service provider.
-	SP *ServiceProvider
+	// SP is the service provider: an explicit *ServiceProvider or the
+	// Kronecker-factored *FactoredSP a Composite compiles to. Composition
+	// consumes the Provider contract only, so the two are interchangeable.
+	SP Provider
 	// SR is the service requester.
 	SR *ServiceRequester
 	// QueueCap is the queue capacity Q; the queue component has Q+1 states.
@@ -110,7 +112,7 @@ func (sys *System) StateOf(i int) State {
 // StateName renders state i as "(spName,srName,q)".
 func (sys *System) StateName(i int) string {
 	st := sys.StateOf(i)
-	return fmt.Sprintf("(%s,%s,%d)", sys.SP.States[st.SP], sys.SR.States[st.SR], st.Q)
+	return fmt.Sprintf("(%s,%s,%d)", sys.SP.StateNames()[st.SP], sys.SR.States[st.SR], st.Q)
 }
 
 // Validate checks both components and the queue capacity.
@@ -170,20 +172,43 @@ func (sys *System) Build() (*Model, error) {
 	}
 
 	// Each command's composed matrix is accumulated as triplets and
-	// compressed to CSR; the dense form is never materialized. Stochasticity
-	// is validated directly on the sparse rows.
+	// compressed to CSR; the dense form is never materialized. The SP chain
+	// is consumed row-sparse through the Provider contract — for a factored
+	// composite that row comes straight out of a Kronecker-compiled CSR, so
+	// the composition never touches a dense |S_p|×|S_p| object either.
+	// Stochasticity is validated directly on the sparse rows.
+	var hookCols []int
+	var hookVals []float64
 	for cmd := 0; cmd < a; cmd++ {
+		chain := sys.SP.Chain(cmd)
+		if chain.Rows() != nsp || chain.Cols() != nsp {
+			return nil, fmt.Errorf("core: provider %q chain for command %d is %dx%d, want %dx%d",
+				sys.SP.ProviderName(), cmd, chain.Rows(), chain.Cols(), nsp, nsp)
+		}
 		trip := mat.NewTriplet(n, n)
 		for p := 0; p < nsp; p++ {
-			b := sys.SP.ServiceRate.At(p, cmd)
+			b := sys.SP.RateAt(p, cmd)
+			chainCols, chainVals := chain.RowNZ(p)
 			for r := 0; r < nsr; r++ {
-				spRow := sys.spRow(p, cmd, r)
-				if len(spRow) != nsp {
-					return nil, fmt.Errorf("core: SPRow override returned %d entries, want %d", len(spRow), nsp)
-				}
-				if !spRow.IsDistribution(1e-9) {
-					return nil, fmt.Errorf("core: SPRow override for (%s,%s,%s) is not a distribution",
-						sys.SP.States[p], sys.SP.Commands[cmd], sys.SR.States[r])
+				spCols, spVals := chainCols, chainVals
+				if sys.SPRow != nil {
+					if row := sys.SPRow(p, cmd, r); row != nil {
+						if len(row) != nsp {
+							return nil, fmt.Errorf("core: SPRow override returned %d entries, want %d", len(row), nsp)
+						}
+						if !row.IsDistribution(1e-9) {
+							return nil, fmt.Errorf("core: SPRow override for (%s,%s,%s) is not a distribution",
+								sys.SP.StateNames()[p], sys.SP.CommandNames()[cmd], sys.SR.States[r])
+						}
+						hookCols, hookVals = hookCols[:0], hookVals[:0]
+						for pNext, v := range row {
+							if v != 0 {
+								hookCols = append(hookCols, pNext)
+								hookVals = append(hookVals, v)
+							}
+						}
+						spCols, spVals = hookCols, hookVals
+					}
 				}
 				for q := 0; q < nq; q++ {
 					i := sys.Index(State{SP: p, SR: r, Q: q})
@@ -193,12 +218,8 @@ func (sys *System) Build() (*Model, error) {
 							continue
 						}
 						qrow := QueueRow(sys.QueueCap, q, b, sys.SR.Requests[rNext])
-						for pNext := 0; pNext < nsp; pNext++ {
-							spP := spRow[pNext]
-							if spP == 0 {
-								continue
-							}
-							base := spP * srP
+						for k, pNext := range spCols {
+							base := spVals[k] * srP
 							for qNext := 0; qNext < nq; qNext++ {
 								if qrow[qNext] == 0 {
 									continue
@@ -213,7 +234,7 @@ func (sys *System) Build() (*Model, error) {
 		}
 		pm := trip.ToCSR()
 		if err := pm.CheckStochastic(1e-9); err != nil {
-			return nil, fmt.Errorf("core: composed matrix for command %q: %w", sys.SP.Commands[cmd], err)
+			return nil, fmt.Errorf("core: composed matrix for command %q: %w", sys.SP.CommandNames()[cmd], err)
 		}
 		m.P[cmd] = pm
 	}
@@ -227,8 +248,8 @@ func (sys *System) Build() (*Model, error) {
 	for i := 0; i < n; i++ {
 		st := sys.StateOf(i)
 		for cmd := 0; cmd < a; cmd++ {
-			power.Set(i, cmd, sys.SP.Power.At(st.SP, cmd))
-			service.Set(i, cmd, sys.SP.ServiceRate.At(st.SP, cmd))
+			power.Set(i, cmd, sys.SP.PowerAt(st.SP, cmd))
+			service.Set(i, cmd, sys.SP.RateAt(st.SP, cmd))
 			if sys.PenaltyFn != nil {
 				penalty.Set(i, cmd, sys.PenaltyFn(st, cmd))
 			} else {
@@ -241,7 +262,7 @@ func (sys *System) Build() (*Model, error) {
 			}
 			// Expected drops in the upcoming transition: arrivals follow
 			// the destination SR state (composition semantics, Eq. 4).
-			b := sys.SP.ServiceRate.At(st.SP, cmd)
+			b := sys.SP.RateAt(st.SP, cmd)
 			exp := 0.0
 			for rNext := 0; rNext < sys.SR.N(); rNext++ {
 				if p := sys.SR.P.At(st.SR, rNext); p != 0 {
@@ -267,15 +288,6 @@ func (sys *System) Build() (*Model, error) {
 		m.Metrics[name] = t
 	}
 	return m, nil
-}
-
-func (sys *System) spRow(p, cmd, r int) mat.Vector {
-	if sys.SPRow != nil {
-		if row := sys.SPRow(p, cmd, r); row != nil {
-			return row
-		}
-	}
-	return sys.SP.P[cmd].Row(p)
 }
 
 // Metric returns the named metric table or an error listing the available

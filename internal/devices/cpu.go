@@ -77,6 +77,24 @@ func CPUSP() *core.ServiceProvider {
 	}
 }
 
+// CPUWakeSP is the SA-1100 with a *commanded* wake: under run, sleep moves
+// into the turn-on transient instead of waiting for an interrupt. CPUSP
+// models wake-on-request as a property of the composed system (the SPRow
+// hook in CPUSystem reacts to the SR state), but a component inside a
+// core.Composite has no such coupling — its dynamics must close under its
+// own commands, or sleep would be absorbing and the joint optimizer could
+// never use it. This is the CPU component heterogeneous device networks
+// compose.
+func CPUWakeSP() *core.ServiceProvider {
+	sp := CPUSP()
+	sp.Name = "sa1100-wake"
+	pRun := sp.P[CPURun].Clone()
+	pRun.Set(CPUSleep, CPUSleep, 0)
+	pRun.Set(CPUSleep, CPUTUp, 1)
+	sp.P[CPURun] = pRun
+	return sp
+}
+
 // CPUSystem composes the SA-1100 with a workload model, implementing the
 // paper's coupling: "whenever there are incoming requests the SP is
 // insensitive to PM commands, and a turn-on transition is performed

@@ -18,7 +18,7 @@ func TestExampleSystemBuilds(t *testing.T) {
 		t.Errorf("example system is %d states × %d commands, want 8×2", m.N, m.A)
 	}
 	// Expected wake time 10 slices (Example 3.1).
-	et, err := sys.SP.ExpectedTransitionTime(1, 0, CmdOn)
+	et, err := sys.SP.(*core.ServiceProvider).ExpectedTransitionTime(1, 0, CmdOn)
 	if err != nil {
 		t.Fatalf("ExpectedTransitionTime: %v", err)
 	}
@@ -276,7 +276,7 @@ func TestBaselineStructure(t *testing.T) {
 		t.Errorf("baseline has %d commands, want 2", m.A)
 	}
 	// Power table: active 3, transition 4, sleep 2.
-	sp := sys.SP
+	sp := sys.SP.(*core.ServiceProvider)
 	if sp.Power.At(0, 0) != 3 || sp.Power.At(0, 1) != 4 ||
 		sp.Power.At(1, 0) != 4 || sp.Power.At(1, 1) != 2 {
 		t.Errorf("baseline power table wrong:\n%v", sp.Power)
@@ -290,7 +290,7 @@ func TestBaselineDeepSleep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("BaselineSystem: %v", err)
 	}
-	sp := sys.SP
+	sp := sys.SP.(*core.ServiceProvider)
 	if sp.N() != 5 || sp.A() != 5 {
 		t.Fatalf("deep-sleep SP is %d×%d, want 5 states × 5 commands", sp.N(), sp.A())
 	}

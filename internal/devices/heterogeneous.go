@@ -1,0 +1,101 @@
+package devices
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// heterogeneousParts assembles the component list of a k-device platform:
+// a mini-disk, an SA-1100 CPU and a NIC first, then alternating extra disks
+// and NICs. Every NIC after the first is restricted to its {run, off}
+// commands (no doze) through the composite's per-part command mask —
+// secondary links are bulk transports that are either up or down.
+func heterogeneousParts(k int) ([]*core.ServiceProvider, [][]int) {
+	parts := make([]*core.ServiceProvider, 0, k)
+	subsets := make([][]int, 0, k)
+	nics := 0
+	add := func(p *core.ServiceProvider, sub []int) {
+		parts = append(parts, p)
+		subsets = append(subsets, sub)
+	}
+	for len(parts) < k {
+		switch len(parts) {
+		case 0:
+			add(MiniDiskSP("disk"), nil)
+		case 1:
+			add(CPUWakeSP(), nil)
+		default:
+			if (len(parts)-2)%2 == 0 {
+				nic := NICSP("nic")
+				if nics > 0 {
+					add(nic, []int{nic.CommandIndex("run"), nic.CommandIndex("off")})
+				} else {
+					add(nic, nil)
+				}
+				nics++
+			} else {
+				add(MiniDiskSP("disk"), nil)
+			}
+		}
+	}
+	return parts, subsets
+}
+
+// HeterogeneousSystem composes a k-component heterogeneous platform —
+// disk + CPU + NIC, extended with alternating extra disks and NICs — into
+// one power-managed system with a shared request queue: the Section VII
+// device network at the scale the heterogeneous-platform studies (Mandal et
+// al., PAPERS.md) care about. The SP is compiled with core.Composite, so the
+// joint chains are Kronecker products assembled directly in CSR and the
+// rate/power surfaces are evaluated from the factors; no dense joint object
+// exists at any size.
+//
+// Masking is what keeps the joint command space sane: the cross product of
+// the part commands grows as Π aᵢ (already 72 at k=5), but the compiled
+// system allows only joint commands that retarget at most one component per
+// slice — the single-command-bus discipline a real power manager follows —
+// which collapses A to 1 + Σ(aᵢ−1). Secondary NICs additionally lose their
+// doze command through the per-part subset mask (see heterogeneousParts).
+//
+// The joint service rate saturates like parallel servers pulling from one
+// queue: b_joint = 1 − Π(1 − bᵢ).
+func HeterogeneousSystem(k, queueCap int, sr *core.ServiceRequester) (*core.System, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("devices: heterogeneous system needs k >= 3 components (disk, cpu, nic), got %d", k)
+	}
+	parts, subsets := heterogeneousParts(k)
+	comp := &core.Composite{
+		Name:  "heterogeneous",
+		Parts: parts,
+		Rate: func(states, cmds []int) float64 {
+			miss := 1.0
+			for i := range states {
+				miss *= 1 - parts[i].ServiceRate.At(states[i], cmds[i])
+			}
+			return 1 - miss
+		},
+		RateTag:      "parallel-servers/v1",
+		PartCommands: subsets,
+		Allow: func(cmds []int) bool {
+			moved := 0
+			for _, c := range cmds {
+				if c != 0 { // command 0 is "run" for every part type
+					moved++
+				}
+			}
+			return moved <= 1
+		},
+		AllowTag: "single-command-bus/v1",
+	}
+	sp, err := comp.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &core.System{
+		Name:     "heterogeneous",
+		SP:       sp,
+		SR:       sr,
+		QueueCap: queueCap,
+	}, nil
+}

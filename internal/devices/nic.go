@@ -1,0 +1,62 @@
+package devices
+
+import (
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// NICSP builds a three-state network interface (on / doze / off, commands
+// run / doze / off) in the mold of the power-managed WLAN and Ethernet
+// controllers of the heterogeneous-platform literature (Mandal et al.,
+// PAPERS.md): a shallow doze state that wakes in about two slices and saves
+// most of the idle power, and a deep off state that is an order of magnitude
+// cheaper again but takes tens of slices to bring back up. Service (packet
+// transmission) happens only while on.
+//
+// Like MiniDiskSP it is deliberately small — three states, three commands —
+// because its purpose is composition: heterogeneous device networks built
+// with core.Composite multiply the component sizes into the joint state
+// space and the component command counts into the joint command space.
+func NICSP(name string) *core.ServiceProvider {
+	const (
+		on   = 0
+		doze = 1
+		off  = 2
+	)
+	return &core.ServiceProvider{
+		Name:     name,
+		States:   []string{"on", "doze", "off"},
+		Commands: []string{"run", "doze", "off"},
+		P: []*mat.Matrix{
+			// run: doze wakes fast (expected 2 slices), off wakes slowly
+			// (expected 25 slices).
+			mat.FromRows([][]float64{
+				{1, 0, 0},
+				{0.5, 0.5, 0},
+				{0.04, 0, 0.96},
+			}),
+			// doze: on drops to doze immediately, off must wake first.
+			mat.FromRows([][]float64{
+				{0, 1, 0},
+				{0, 1, 0},
+				{0.04, 0, 0.96},
+			}),
+			// off: the radio shuts down through doze.
+			mat.FromRows([][]float64{
+				{0, 1, 0},
+				{0, 0, 1},
+				{0, 0, 1},
+			}),
+		},
+		ServiceRate: mat.FromRows([][]float64{
+			{0.7, 0, 0},
+			{0, 0, 0},
+			{0, 0, 0},
+		}),
+		Power: mat.FromRows([][]float64{
+			{1.4, 1.4, 1.4},
+			{0.4, 0.4, 0.4},
+			{0.04, 0.04, 0.04},
+		}),
+	}
+}

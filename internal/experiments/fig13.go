@@ -137,7 +137,7 @@ func Fig13b(cfg Config) (*Result, error) {
 			sp := sys.SP
 			sys.ExtraMetrics = map[string]func(core.State, int) float64{
 				metricCombined: func(st core.State, cmd int) float64 {
-					return sp.Power.At(st.SP, cmd) + lambda*float64(st.Q)
+					return sp.PowerAt(st.SP, cmd) + lambda*float64(st.Q)
 				},
 			}
 			m, err := sys.Build()

@@ -1,0 +1,103 @@
+package lp_test
+
+// Regression coverage for the scale-relative optimality test and the
+// phase-2 primal repair (see revised.go recomputeD/phase2): policy LPs at
+// discounts α = 1−10⁻⁶ and beyond have duals of order 1/(1−α), and under
+// the former absolute −1e-9 reduced-cost threshold the solver churned
+// through roundoff-driven degenerate pivots until the basis drifted primal
+// infeasible and the solve died as Numerical. The external test package is
+// used so the cases can be stated as the real policy optimizations that
+// exposed the failure.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/lp"
+)
+
+func diskOpts(h, bound float64) core.Options {
+	return core.Options{
+		Alpha:          core.HorizonToAlpha(h),
+		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
+		Bounds:         []core.Bound{{Metric: core.MetricPenalty, Rel: lp.LE, Value: bound}},
+		SkipEvaluation: true,
+	}
+}
+
+// TestHighDiscountRedundantBound is the exact instance that used to fail:
+// the Travelstar disk at horizon 10⁶ (α = 1−10⁻⁶) under the redundant
+// bound penalty ≤ 2 (the queue never holds more than its capacity 2). The
+// solve must come back Optimal, and — because the bound is redundant — at
+// the same objective as the unconstrained solve.
+func TestHighDiscountRedundantBound(t *testing.T) {
+	sys := devices.DiskSystem(core.TwoStateSR("w", 0.002, 0.3))
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := diskOpts(1e6, 2)
+	opts.Initial = core.Delta(m.N, sys.Index(core.State{SP: devices.DiskActive}))
+	res, err := core.Optimize(m, opts)
+	if err != nil {
+		t.Fatalf("redundant-bound solve at α=1−1e-6: %v (status %v)", err, res.Status)
+	}
+
+	free := diskOpts(1e6, 0)
+	free.Bounds = nil
+	free.Initial = opts.Initial
+	ref, err := core.Optimize(m, free)
+	if err != nil {
+		t.Fatalf("unconstrained solve: %v", err)
+	}
+	if d := math.Abs(res.Objective - ref.Objective); d > 1e-8 {
+		t.Errorf("redundant bound moved the objective by %g (%g vs %g)", d, res.Objective, ref.Objective)
+	}
+}
+
+// TestHighDiscountAcrossDevices: feasible optimizations across the device
+// zoo stay Optimal at horizons 10⁶ and 10⁷, and the work counters the
+// composite benchmarks report are populated.
+func TestHighDiscountAcrossDevices(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*core.System, error)
+		bound float64
+	}{
+		{"disk", func() (*core.System, error) {
+			return devices.DiskSystem(core.TwoStateSR("w", 0.002, 0.3)), nil
+		}, 0.3},
+		{"multidisk", func() (*core.System, error) {
+			return devices.MultiDiskSystem(3, 2, core.TwoStateSR("w", 0.05, 0.2))
+		}, 0.8},
+		{"heterogeneous", func() (*core.System, error) {
+			return devices.HeterogeneousSystem(3, 2, core.TwoStateSR("w", 0.05, 0.2))
+		}, 1.5},
+	}
+	for _, tc := range cases {
+		sys, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m, err := sys.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, h := range []float64{1e6, 1e7} {
+			res, err := core.Optimize(m, diskOpts(h, tc.bound))
+			if err != nil {
+				t.Errorf("%s at horizon %g: %v (status %v)", tc.name, h, err, res.Status)
+				continue
+			}
+			if res.Objective <= 0 {
+				t.Errorf("%s at horizon %g: objective %g", tc.name, h, res.Objective)
+			}
+			if res.LPIterations <= 0 || res.LPRefactorizations <= 0 {
+				t.Errorf("%s at horizon %g: counters %d pivots / %d refactorizations",
+					tc.name, h, res.LPIterations, res.LPRefactorizations)
+			}
+		}
+	}
+}

@@ -210,6 +210,12 @@ type Solution struct {
 	Objective  float64   // c'x in the problem's own sense
 	Activities []float64 // a_i'x per constraint
 	Iterations int
+	// Refactorizations counts full basis refactorizations (each an O(m³)
+	// dense LU of the basis matrix) performed by the revised simplex —
+	// together with Iterations, the work a solve actually did, which
+	// benchmarks report alongside wall time. Always zero for SolveDense,
+	// which carries a full tableau instead of a factorized basis.
+	Refactorizations int
 	// WarmStarted reports that the solve reused a caller-supplied Basis and
 	// skipped phase 1 (see SolveWithBasis).
 	WarmStarted bool

@@ -45,8 +45,10 @@ type revised struct {
 	etas        []eta
 	xB          mat.Vector
 	d           mat.Vector // reduced costs of the active phase, maintained by pivoting
+	dScale      mat.Vector // per-column magnitude scale of d (see recomputeD)
 
 	iterations    int
+	refactors     int
 	refactorEvery int
 	blandAlways   bool
 }
@@ -83,6 +85,7 @@ func (r *revised) rebuildPos() {
 // columns, clears the eta file, and recomputes exact basic values. It
 // returns false when the basis matrix is singular.
 func (r *revised) refactor() bool {
+	r.refactors++
 	m := r.sf.m
 	bm := mat.NewMatrix(m, m)
 	for i, bcol := range r.basis {
@@ -168,17 +171,41 @@ func (r *revised) duals(cost mat.Vector) mat.Vector {
 // exactly −d_enter/pivot, so roundoff can never invite a column straight
 // back in (the failure mode that stalls recompute-from-duals pricing on
 // stiff instances whose duals reach 1/(1−α)).
+//
+// Alongside d it records each column's magnitude scale
+//
+//	dScale_j = 1 + |c_j| + Σ_i |y_i·a_ij|,
+//
+// the cancellation scale of the subtraction that produced d_j. Optimality
+// tests compare d_j against −costTol·dScale_j rather than the absolute
+// −costTol: policy LPs at discounts like α = 1−10⁻⁶ have duals of order
+// 1/(1−α), so a computed d_j of −10⁻⁸ on a column whose terms are ~10⁶ is
+// pure roundoff — an absolute test keeps "improving" on such columns
+// through degenerate pivots and stalls into the iteration limit, while the
+// relative test recognizes the optimum. On well-scaled problems dScale ≈ 1
+// and the behavior is unchanged. The scales refresh with every recompute
+// (at most refactorEvery pivots stale, like d itself).
 func (r *revised) recomputeD(cost mat.Vector) {
 	y := r.duals(cost)
 	if r.d == nil {
 		r.d = mat.NewVector(r.sf.nTot)
+		r.dScale = mat.NewVector(r.sf.nTot)
 	}
 	for j := 0; j < r.sf.nTot; j++ {
 		if r.pos[j] >= 0 {
 			r.d[j] = 0
+			r.dScale[j] = 1
 			continue
 		}
-		r.d[j] = cost[j] - r.sf.a.ColDot(j, y)
+		rows, vals := r.sf.a.ColNZ(j)
+		dot, abs := 0.0, 0.0
+		for k, i := range rows {
+			t := vals[k] * y[i]
+			dot += t
+			abs += math.Abs(t)
+		}
+		r.d[j] = cost[j] - dot
+		r.dScale[j] = 1 + math.Abs(cost[j]) + abs
 	}
 }
 
@@ -200,22 +227,24 @@ func (r *revised) updateD(beta mat.Vector, col int, piv float64) {
 
 // price picks the entering column among [0, maxCol) by the maintained
 // reduced costs: most negative under Dantzig, first negative under Bland.
-// Returns -1 at optimality.
+// A column counts as improving only when its reduced cost clears the
+// scale-relative tolerance −costTol·dScale (see recomputeD). Returns -1 at
+// optimality.
 func (r *revised) price(maxCol int, bland bool) int {
 	if bland {
 		for j := 0; j < maxCol; j++ {
-			if r.pos[j] < 0 && r.d[j] < -costTol {
+			if r.pos[j] < 0 && r.d[j] < -costTol*r.dScale[j] {
 				return j
 			}
 		}
 		return -1
 	}
-	best, bestVal := -1, -costTol
+	best, bestVal := -1, 0.0
 	for j := 0; j < maxCol; j++ {
 		if r.pos[j] >= 0 {
 			continue
 		}
-		if d := r.d[j]; d < bestVal {
+		if d := r.d[j]; d < -costTol*r.dScale[j] && d < bestVal {
 			bestVal = d
 			best = j
 		}
@@ -363,9 +392,15 @@ func (r *revised) driveOutArtificials() {
 	}
 }
 
-// solve runs both phases and extracts the solution.
-func (r *revised) solve() *Solution {
-	sol := &Solution{}
+// solve runs both phases and extracts the solution. Every exit records the
+// work counters, so even aborted solves (cancelled, iteration-limited,
+// numerical) report the pivots and refactorizations they actually paid.
+func (r *revised) solve() (sol *Solution) {
+	sol = &Solution{}
+	defer func() {
+		sol.Iterations = r.iterations
+		sol.Refactorizations = r.refactors
+	}()
 	if !r.refactor() {
 		sol.Status = Numerical
 		return sol
@@ -393,7 +428,6 @@ func (r *revised) solve() *Solution {
 		}
 		if phase1 > 1e-7*(1+r.sf.b.Sum()) {
 			sol.Status = Infeasible
-			sol.Iterations = r.iterations
 			return sol
 		}
 		r.driveOutArtificials()
@@ -404,38 +438,57 @@ func (r *revised) solve() *Solution {
 // phase2 optimizes the true objective from the current (primal feasible)
 // basis and extracts the solution. It is the shared tail of the cold
 // two-phase solve and of warm starts that enter with a reusable basis.
+//
+// On stiff instances (discounts at 1−10⁻⁶ and beyond) the degenerate-value
+// clamps in the pivot loop can let the basis drift primal infeasible
+// between refactorizations while the reduced costs remain optimal; the
+// final exact refactorization then exposes basic values that are genuinely
+// negative. Such a basis is still dual feasible — exactly the dual-simplex
+// entry condition — so instead of giving up as Numerical, phase2 repairs
+// primal feasibility with dual pivots and re-optimizes, a bounded number of
+// times.
 func (r *revised) phase2() *Solution {
 	sol := &Solution{}
-	if !r.refactor() {
-		sol.Status = Numerical
-		return sol
-	}
-	st := r.runPhase(r.sf.cost2, r.sf.nv+r.sf.ns)
-	sol.Iterations = r.iterations
-	if st != Optimal {
-		sol.Status = st
-		return sol
-	}
-	if !r.refactor() { // final exact recomputation from the basis
-		sol.Status = Numerical
-		return sol
-	}
-	sol.Status = Optimal
-	x := make([]float64, r.sf.nv)
-	for i, b := range r.basis {
-		if b < r.sf.nv {
-			v := r.xB[i]
-			if v < 0 {
-				if v < -1e-7 {
-					sol.Status = Numerical
-					return sol
-				}
-				v = 0
+	sol.Status = Numerical
+	for attempt := 0; attempt < 4; attempt++ {
+		if !r.refactor() {
+			break
+		}
+		st := r.runPhase(r.sf.cost2, r.sf.nv+r.sf.ns)
+		if st != Optimal {
+			sol.Status = st
+			break
+		}
+		if !r.refactor() { // final exact recomputation from the basis
+			break
+		}
+		worst := 0.0
+		for _, v := range r.xB {
+			if v < worst {
+				worst = v
 			}
-			x[b] = v
+		}
+		if worst >= -1e-7 {
+			sol.Status = Optimal
+			x := make([]float64, r.sf.nv)
+			for i, b := range r.basis {
+				if b < r.sf.nv {
+					v := r.xB[i]
+					if v < 0 {
+						v = 0
+					}
+					x[b] = v
+				}
+			}
+			sol.X = x
+			break
+		}
+		if !r.dualFeasible() || !r.dualSimplex() {
+			break
 		}
 	}
-	sol.X = x
+	sol.Iterations = r.iterations
+	sol.Refactorizations = r.refactors
 	return sol
 }
 
@@ -455,7 +508,7 @@ func (r *revised) primalFeasible() bool {
 func (r *revised) dualFeasible() bool {
 	r.recomputeD(r.sf.cost2)
 	for j := 0; j < r.sf.nv+r.sf.ns; j++ {
-		if r.pos[j] < 0 && r.d[j] < -costTol {
+		if r.pos[j] < 0 && r.d[j] < -costTol*r.dScale[j] {
 			return false
 		}
 	}

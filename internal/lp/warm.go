@@ -144,7 +144,7 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revise
 		// on the RHS), which is exactly the dual-simplex entry condition.
 		if !r.dualFeasible() || !r.dualSimplex() {
 			if r.cancelled() {
-				return &Solution{Status: Cancelled, Iterations: r.iterations}, nil
+				return &Solution{Status: Cancelled, Iterations: r.iterations, Refactorizations: r.refactors}, nil
 			}
 			return nil, nil
 		}

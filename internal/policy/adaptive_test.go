@@ -26,7 +26,7 @@ func adaptiveSystem(sr *core.ServiceRequester) (*core.System, error) {
 	sp := sys.SP
 	sys.ExtraMetrics = map[string]func(core.State, int) float64{
 		combinedMetric: func(st core.State, cmd int) float64 {
-			return sp.Power.At(st.SP, cmd) + 1.2*float64(st.Q)
+			return sp.PowerAt(st.SP, cmd) + 1.2*float64(st.Q)
 		},
 	}
 	return sys, nil

@@ -387,7 +387,7 @@ func (s *Server) optimizeResponse(e *modelEntry, req *OptimizeRequest, res *core
 	resp.Averages = res.Averages
 	if req.IncludePolicy {
 		pj := &PolicyJSON{
-			Commands: e.Sys.SP.Commands,
+			Commands: e.Sys.SP.CommandNames(),
 			States:   make([]string, res.Policy.N()),
 			Dist:     make([][]float64, res.Policy.N()),
 		}

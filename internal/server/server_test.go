@@ -79,8 +79,8 @@ func TestPresetsRegisteredAndFingerprinted(t *testing.T) {
 	if st := call(t, http.MethodGet, base+"/v1/models", nil, &models); st != http.StatusOK {
 		t.Fatalf("list status %d", st)
 	}
-	if len(models) != 5 {
-		t.Fatalf("%d preset models, want 5", len(models))
+	if len(models) != 7 {
+		t.Fatalf("%d preset models, want 7", len(models))
 	}
 	seen := map[string]bool{}
 	for _, m := range models {
@@ -322,7 +322,7 @@ func TestValidationAndHealth(t *testing.T) {
 		Status string `json:"status"`
 		Models int    `json:"models"`
 	}
-	if st := call(t, http.MethodGet, base+"/v1/healthz", nil, &health); st != http.StatusOK || health.Status != "ok" || health.Models != 5 {
+	if st := call(t, http.MethodGet, base+"/v1/healthz", nil, &health); st != http.StatusOK || health.Status != "ok" || health.Models != 7 {
 		t.Errorf("healthz: status %d body %+v", st, health)
 	}
 
@@ -335,7 +335,7 @@ func TestValidationAndHealth(t *testing.T) {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatalf("reading /metrics: %v", err)
 	}
-	for _, want := range []string{"dpmserved_requests", "dpmserved_exact_hits", "dpmserved_models 5"} {
+	for _, want := range []string{"dpmserved_requests", "dpmserved_exact_hits", "dpmserved_models 7"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("/metrics missing %q", want)
 		}

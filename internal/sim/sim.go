@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/policy"
 )
 
@@ -81,6 +82,10 @@ type Simulator struct {
 	ctrl  policy.Controller
 	cfg   Config
 	rng   *rand.Rand
+	// spChains caches the provider's per-command CSR chains: the step loop
+	// samples SP transitions from sparse rows (Provider does not expose
+	// dense rows, and re-compressing per step would dominate the run).
+	spChains []*mat.CSR
 }
 
 // New builds a simulator for the compiled model m driven by ctrl.
@@ -100,11 +105,16 @@ func New(m *core.Model, ctrl policy.Controller, cfg Config) (*Simulator, error) 
 			return arrivals
 		}
 	}
+	chains := make([]*mat.CSR, sys.SP.A())
+	for a := range chains {
+		chains[a] = sys.SP.Chain(a)
+	}
 	return &Simulator{
-		model: m,
-		ctrl:  ctrl,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		model:    m,
+		ctrl:     ctrl,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		spChains: chains,
 	}, nil
 }
 
@@ -203,16 +213,16 @@ func (s *Simulator) session(ac *accumulator, src arrivalSource) {
 		}
 
 		// SP transition row for the *current* SR state (coupling hook).
-		spRow := sys.SP.P[cmd].Row(st.SP)
-		if sys.SPRow != nil {
-			if row := sys.SPRow(st.SP, cmd, st.SR); row != nil {
-				spRow = row
-			}
+		var spNext int
+		if row := s.hookRow(st.SP, cmd, st.SR); row != nil {
+			spNext = sampleRow(s.rng, row)
+		} else {
+			cols, vals := s.spChains[cmd].RowNZ(st.SP)
+			spNext = sampleRowNZ(s.rng, cols, vals)
 		}
-		spNext := sampleRow(s.rng, spRow)
 
 		// Queue update per Eq. 3, with exact request accounting.
-		b := sys.SP.ServiceRate.At(st.SP, cmd)
+		b := sys.SP.RateAt(st.SP, cmd)
 		ac.arrived += int64(arrivals)
 		q := len(fifo)
 		switch {
@@ -263,6 +273,15 @@ func (s *Simulator) session(ac *accumulator, src arrivalSource) {
 	}
 }
 
+// hookRow returns the SPRow override for (p, cmd, r), or nil when the
+// system has no hook (or the hook defers to the commanded dynamics).
+func (s *Simulator) hookRow(p, cmd, r int) mat.Vector {
+	if s.model.Sys.SPRow == nil {
+		return nil
+	}
+	return s.model.Sys.SPRow(p, cmd, r)
+}
+
 func sampleRow(rng *rand.Rand, row []float64) int {
 	u := rng.Float64()
 	for i, p := range row {
@@ -272,6 +291,20 @@ func sampleRow(rng *rand.Rand, row []float64) int {
 		}
 	}
 	return len(row) - 1
+}
+
+// sampleRowNZ samples from a sparse probability row (indices cols, masses
+// vals). Implicit zeros carry no mass, so any residual u lands on the last
+// stored entry, mirroring sampleRow's tail clamp.
+func sampleRowNZ(rng *rand.Rand, cols []int, vals []float64) int {
+	u := rng.Float64()
+	for k, p := range vals {
+		u -= p
+		if u <= 0 {
+			return cols[k]
+		}
+	}
+	return cols[len(cols)-1]
 }
 
 // Run simulates a single fixed-horizon session of the given number of

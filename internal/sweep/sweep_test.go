@@ -51,7 +51,11 @@ func comparePoints(t *testing.T, label string, got, want []core.ParetoPoint) {
 			t.Errorf("%s[%d]: feasible=%v, want %v", label, i, g.Feasible, w.Feasible)
 			continue
 		}
-		if w.Feasible && math.Abs(g.Objective-w.Objective) > 1e-9 {
+		// 1e-8 is the repo-wide objective-parity tolerance (lp and core
+		// parity suites): warm and cold solves may stop at different
+		// optimal vertices whose objectives agree only to the solver's
+		// scale-relative optimality tolerance on stiff discounts.
+		if w.Feasible && math.Abs(g.Objective-w.Objective) > 1e-8 {
 			t.Errorf("%s[%d]: objective %.15g, want %.15g (Δ=%g)", label, i, g.Objective, w.Objective,
 				math.Abs(g.Objective-w.Objective))
 		}
@@ -60,8 +64,8 @@ func comparePoints(t *testing.T, label string, got, want []core.ParetoPoint) {
 
 // TestParetoMatchesSequential is the determinism contract: for any worker
 // count, warm or cold, the parallel engine returns the same points in the
-// same order with the same values (within 1e-9) as the sequential
-// core.ParetoSweep path.
+// same order with the same values (within the 1e-8 objective-parity
+// tolerance) as the sequential core.ParetoSweep path.
 func TestParetoMatchesSequential(t *testing.T) {
 	m, opts, bounds := diskSweep(t)
 	seq, err := core.ParetoSweep(m, opts, core.MetricPenalty, lp.LE, bounds)

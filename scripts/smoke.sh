@@ -37,8 +37,16 @@ HIT=$(curl -sSf -X POST -d "$REQ" "$URL/v1/optimize")
 echo "$HIT" | grep -q '"cache": "hit"' || fail "repeat query not a cache hit" "$HIT"
 echo "$HIT" | grep -q '"pivots": 0' || fail "cache hit paid pivots" "$HIT"
 
+# Composite registry coverage: the Kronecker-compiled heterogeneous preset
+# (disk+CPU+NIC with single-command-bus masking) must be resident and
+# solvable through the same serving path.
+HREQ='{"model":"heterogeneous","objective":"power","bounds":[{"metric":"penalty","rel":"<=","value":1.5}]}'
+HET=$(curl -sSf -X POST -d "$HREQ" "$URL/v1/optimize")
+echo "$HET" | grep -q '"status": "optimal"' || fail "heterogeneous solve not optimal" "$HET"
+echo "$HET" | grep -q '"cache": "cold"' || fail "heterogeneous query not a cold solve" "$HET"
+
 curl -sSf "$URL/metrics" | grep -q '^dpmserved_exact_hits 1$' || { echo "smoke: exact_hits counter != 1"; exit 1; }
 
 kill -TERM "$PID"
 wait "$PID" || { echo "smoke: daemon exited non-zero on SIGTERM"; exit 1; }
-echo "smoke: ok (cold solve, cache hit, clean shutdown)"
+echo "smoke: ok (cold solve, cache hit, composite preset, clean shutdown)"
