@@ -37,8 +37,10 @@ bench:
 serve:
 	$(GO) run ./cmd/dpmserved -addr localhost:8080
 
-# Build dpmserved with the race detector and drive it end to end:
-# start, health check, cold solve, cache hit, clean SIGTERM shutdown.
+# Build dpmserved with the race detector and drive it end to end: start,
+# health check, cold solve, cache hit, a drifting workload streamed through
+# the online-adaptation endpoint (dpmfeed), clean SIGTERM shutdown.
 smoke:
 	$(GO) build -race -o bin/dpmserved ./cmd/dpmserved
-	./scripts/smoke.sh bin/dpmserved
+	$(GO) build -o bin/dpmfeed ./cmd/dpmfeed
+	./scripts/smoke.sh bin/dpmserved bin/dpmfeed

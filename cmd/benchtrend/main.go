@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchtrend -old prev/BENCH.json [-new BENCH.json] [-max-ratio 2] \
-//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous] [-min-ns 1e6]
+//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh] \
+//	           [-min-ns 1e6]
 //
 // Bench names are prefix-matched against the report (so "LargeComposite"
 // covers every sub-benchmark). Benchmarks absent from the old report are
@@ -42,7 +43,7 @@ func main() {
 	oldPath := flag.String("old", "", "previous BENCH.json (required)")
 	newPath := flag.String("new", "BENCH.json", "current BENCH.json")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/old ns/op exceeds this")
-	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous", "comma-separated headline bench name prefixes")
+	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh", "comma-separated headline bench name prefixes")
 	minNS := flag.Float64("min-ns", 1e6, "ignore benches whose old ns/op is below this (too noisy at 1 iteration)")
 	flag.Parse()
 	if *oldPath == "" {

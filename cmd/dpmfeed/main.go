@@ -1,0 +1,227 @@
+// Command dpmfeed streams a synthetic drifting workload at a dpmserved
+// daemon's online-adaptation endpoint, exercising the whole loop end to
+// end: generate a two-regime Markov-modulated trace whose (p01, p10) switch
+// mid-stream, POST it in chunks to /v1/models/{id}/observe, and report what
+// the daemon's drift controller did with each chunk — ingest only, or a
+// policy refresh (initial or drift-triggered), with its LP patch/rebuild
+// path, warm-start status and pivot count.
+//
+// Usage:
+//
+//	dpmfeed -url http://localhost:8080 -model disk \
+//	        -slices 3000 -flip 1500 -chunk 50 \
+//	        -p01 0.03 -p10 0.25 -p01b 0.20 -p10b 0.10 \
+//	        -bounds 'penalty<=1.8' -objective power -horizon 1e4
+//
+// The exit status is nonzero on transport or server errors, and — with
+// -expect-drift (the default) — when the stream completes without a single
+// drift-triggered refresh, which makes the command usable as a smoke-test
+// assertion as well as a demo.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/trace"
+)
+
+type observeRequest struct {
+	Counts         []int       `json:"counts"`
+	Horizon        float64     `json:"horizon,omitempty"`
+	Objective      string      `json:"objective,omitempty"`
+	Bounds         []boundSpec `json:"bounds,omitempty"`
+	TimeoutMS      int         `json:"timeout_ms,omitempty"`
+	Memory         int         `json:"memory,omitempty"`
+	Decay          float64     `json:"decay,omitempty"`
+	DriftThreshold float64     `json:"drift_threshold,omitempty"`
+	MinSlices      int         `json:"min_slices,omitempty"`
+	MinEvidence    float64     `json:"min_evidence,omitempty"`
+	CheckEvery     int         `json:"check_every,omitempty"`
+}
+
+type boundSpec struct {
+	Metric string  `json:"metric"`
+	Rel    string  `json:"rel"`
+	Value  float64 `json:"value"`
+}
+
+type observeResponse struct {
+	Slices       int64   `json:"slices"`
+	Drift        float64 `json:"drift"`
+	Refreshed    bool    `json:"refreshed"`
+	Trigger      string  `json:"trigger"`
+	Patched      bool    `json:"patched"`
+	WarmStarted  bool    `json:"warm_started"`
+	Pivots       int     `json:"pivots"`
+	Refreshes    int     `json:"refreshes"`
+	RefreshError string  `json:"refresh_error"`
+	Serving      bool    `json:"serving"`
+	Objective    float64 `json:"objective"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "dpmserved base URL")
+	model := flag.String("model", "disk", "model id or registered name to adapt")
+	slices := flag.Int("slices", 3000, "total workload slices to stream")
+	flip := flag.Int("flip", 0, "slice at which the regime switches (default: halfway)")
+	chunk := flag.Int("chunk", 50, "slices per observe request")
+	p01 := flag.Float64("p01", 0.03, "idle→busy probability of the first regime")
+	p10 := flag.Float64("p10", 0.25, "busy→idle probability of the first regime")
+	p01b := flag.Float64("p01b", 0.20, "idle→busy probability after the flip")
+	p10b := flag.Float64("p10b", 0.10, "busy→idle probability after the flip")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+
+	objective := flag.String("objective", "power", "objective metric the refreshed policies minimize")
+	horizon := flag.Float64("horizon", 1e4, "expected session length in slices")
+	bounds := flag.String("bounds", "penalty<=1.8", "comma-separated metric bounds, e.g. 'penalty<=1.8'")
+	timeout := flag.Duration("timeout", 0, "per-refresh solve budget (0: server default)")
+
+	memory := flag.Int("memory", 1, "estimator history length k")
+	decay := flag.Float64("decay", 0.995, "estimator per-slice decay factor")
+	threshold := flag.Float64("drift-threshold", 0.05, "max per-row TV distance before a re-solve")
+	minSlices := flag.Int("min-slices", 300, "observed transitions before the first solve")
+	minEvidence := flag.Float64("min-evidence", 8, "decayed row evidence floor for the drift measure")
+	checkEvery := flag.Int("check-every", 25, "ingested slices between drift checks")
+
+	expectDrift := flag.Bool("expect-drift", true, "exit nonzero unless ≥1 drift refresh happened")
+	quiet := flag.Bool("q", false, "only print refresh lines and the summary")
+	flag.Parse()
+
+	if err := run(feedConfig{
+		url: strings.TrimRight(*url, "/"), model: *model,
+		slices: *slices, flip: *flip, chunk: *chunk,
+		p01: *p01, p10: *p10, p01b: *p01b, p10b: *p10b, seed: *seed,
+		objective: *objective, horizon: *horizon, bounds: *bounds, timeout: *timeout,
+		memory: *memory, decay: *decay, threshold: *threshold,
+		minSlices: *minSlices, minEvidence: *minEvidence, checkEvery: *checkEvery,
+		expectDrift: *expectDrift, quiet: *quiet,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmfeed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type feedConfig struct {
+	url, model            string
+	slices, flip, chunk   int
+	p01, p10, p01b, p10b  float64
+	seed                  int64
+	objective             string
+	horizon               float64
+	bounds                string
+	timeout               time.Duration
+	memory                int
+	decay, threshold      float64
+	minSlices, checkEvery int
+	minEvidence           float64
+	expectDrift, quiet    bool
+}
+
+func run(cfg feedConfig) error {
+	if cfg.slices < 2 || cfg.chunk < 1 {
+		return fmt.Errorf("need -slices ≥ 2 and -chunk ≥ 1")
+	}
+	flip := cfg.flip
+	if flip <= 0 || flip >= cfg.slices {
+		flip = cfg.slices / 2
+	}
+	coreBounds, err := cli.ParseBounds(cfg.bounds)
+	if err != nil {
+		return err
+	}
+	var specs []boundSpec
+	for _, b := range coreBounds {
+		specs = append(specs, boundSpec{Metric: b.Metric, Rel: b.Rel.String(), Value: b.Value})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	counts := trace.Concat(
+		trace.OnOff(rng, flip, cfg.p01, cfg.p10),
+		trace.OnOff(rng, cfg.slices-flip, cfg.p01b, cfg.p10b),
+	)
+	fmt.Printf("dpmfeed: streaming %d slices at %s/v1/models/%s/observe (regime flip at %d: (%.3g,%.3g)→(%.3g,%.3g))\n",
+		len(counts), cfg.url, cfg.model, flip, cfg.p01, cfg.p10, cfg.p01b, cfg.p10b)
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	driftRefreshes, refreshes, pivots := 0, 0, 0
+	for lo := 0; lo < len(counts); lo += cfg.chunk {
+		hi := min(lo+cfg.chunk, len(counts))
+		req := observeRequest{
+			Counts:         counts[lo:hi],
+			Horizon:        cfg.horizon,
+			Objective:      cfg.objective,
+			Bounds:         specs,
+			TimeoutMS:      int(cfg.timeout / time.Millisecond),
+			Memory:         cfg.memory,
+			Decay:          cfg.decay,
+			DriftThreshold: cfg.threshold,
+			MinSlices:      cfg.minSlices,
+			MinEvidence:    cfg.minEvidence,
+			CheckEvery:     cfg.checkEvery,
+		}
+		var resp observeResponse
+		if err := post(client, cfg.url+"/v1/models/"+cfg.model+"/observe", &req, &resp); err != nil {
+			return fmt.Errorf("slices [%d,%d): %w", lo, hi, err)
+		}
+		if resp.RefreshError != "" {
+			fmt.Printf("slice %5d  refresh failed: %s\n", hi, resp.RefreshError)
+			continue
+		}
+		if resp.Refreshed {
+			refreshes++
+			pivots += resp.Pivots
+			path := "rebuilt"
+			if resp.Patched {
+				path = "patched"
+			}
+			solve := "cold"
+			if resp.WarmStarted {
+				solve = "warm"
+			}
+			if resp.Trigger == "drift" {
+				driftRefreshes++
+			}
+			fmt.Printf("slice %5d  %s refresh (%s, %s): drift %.3f, %d pivots, objective %.5f, %.1f ms\n",
+				hi, resp.Trigger, path, solve, resp.Drift, resp.Pivots, resp.Objective, resp.ElapsedMS)
+		} else if !cfg.quiet {
+			fmt.Printf("slice %5d  ingested (drift %.3f, serving %v)\n", hi, resp.Drift, resp.Serving)
+		}
+	}
+	fmt.Printf("dpmfeed: done — %d refreshes (%d drift-triggered), %d refresh pivots total\n",
+		refreshes, driftRefreshes, pivots)
+	if cfg.expectDrift && driftRefreshes == 0 {
+		return fmt.Errorf("no drift-triggered refresh over %d slices", len(counts))
+	}
+	return nil
+}
+
+func post(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}

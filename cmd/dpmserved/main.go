@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	dpmserved [-addr :8080] [-cache 512] [-timeout 30s] [-max-timeout 2m]
+//	dpmserved [-addr :8080] [-cache 512] [-timeout 30s] [-max-timeout 2m] \
+//	          [-cache-file dpmserved.cache]
 //
 // The listening address is printed on startup ("dpmserved: listening on
 // http://HOST:PORT"), so -addr 127.0.0.1:0 works for scripted smoke tests.
-// SIGINT/SIGTERM drain in-flight requests and exit cleanly. See the README
-// section "Serving mode" for the endpoint reference and curl examples.
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly. With
+// -cache-file, the warm-start cache (query fingerprints → optimal LP bases)
+// is reloaded at startup and saved on clean shutdown, so a restarted daemon
+// answers repeat query families from warm solves instead of cold ones; a
+// missing, stale or version-mismatched file just means starting cold. See
+// the README section "Serving mode" for the endpoint reference and curl
+// examples.
 package main
 
 import (
@@ -33,15 +39,16 @@ func main() {
 	cache := flag.Int("cache", 512, "cached results/bases (LRU entries)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	cacheFile := flag.String("cache-file", "", "persist the warm-start basis cache here across restarts")
 	flag.Parse()
 
-	if err := run(*addr, *cache, *timeout, *maxTimeout); err != nil {
+	if err := run(*addr, *cache, *timeout, *maxTimeout, *cacheFile); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cache int, timeout, maxTimeout time.Duration) error {
+func run(addr string, cache int, timeout, maxTimeout time.Duration, cacheFile string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -53,6 +60,15 @@ func run(addr string, cache int, timeout, maxTimeout time.Duration) error {
 	})
 	if err != nil {
 		return err
+	}
+	if cacheFile != "" {
+		// The cache is an accelerator: a missing or unloadable file starts
+		// cold, it never blocks serving.
+		if n, err := srv.LoadCacheFile(cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "dpmserved: ignoring cache file %s: %v\n", cacheFile, err)
+		} else if n > 0 {
+			fmt.Printf("dpmserved: restored %d warm-start bases from %s\n", n, cacheFile)
+		}
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -75,6 +91,13 @@ func run(addr string, cache int, timeout, maxTimeout time.Duration) error {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if cacheFile != "" {
+		if n, err := srv.SaveCacheFile(cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "dpmserved: saving cache file %s: %v\n", cacheFile, err)
+		} else {
+			fmt.Printf("dpmserved: saved %d warm-start bases to %s\n", n, cacheFile)
+		}
 	}
 	return nil
 }

@@ -50,11 +50,20 @@
 //     fingerprint of (model parameters, discount, objective, constraints).
 //     Exact hits return cached results with zero pivots, near hits
 //     warm-start from the nearest cached basis, concurrent identical
-//     queries share one solve, and per-request deadlines cancel the
-//     simplex mid-pivot (OptimizeCtx / lp.SolveWithBasisCtx). Endpoints:
-//     POST /v1/models, GET /v1/models, POST /v1/optimize, POST /v1/sweep,
+//     queries share one solve, per-request deadlines cancel the
+//     simplex mid-pivot (OptimizeCtx / lp.SolveWithBasisCtx), and the
+//     warm-start basis cache persists across restarts (-cache-file).
+//     Endpoints: POST /v1/models, GET /v1/models,
+//     POST /v1/models/{id}/observe, POST /v1/optimize, POST /v1/sweep,
 //     GET /v1/healthz, GET /v1/stats, GET /metrics — see the README's
 //     "Serving mode" section for curl examples and cache semantics;
+//   - internal/online — the streaming adaptation subsystem behind the
+//     observe endpoint: an incremental exponentially-decayed form of the
+//     trace extractor (O(1) per slice), a drift controller comparing the
+//     estimate to the served workload model by per-row total-variation
+//     distance, and drift-triggered re-solves that revise the resident LP
+//     in place (core.PatchFrequencyLP) and warm-start from the previous
+//     optimal basis under a bounded solve budget;
 //   - internal/experiments — one runner per paper table/figure.
 //
 // A minimal end-to-end use:
@@ -91,6 +100,26 @@
 // six-component platform's 144 joint commands to 8. The legacy dense
 // CompositeSP remains as the parity reference; the factored path is
 // exercised against it to 1e-8 by the randomized parity suite.
+//
+// # Online adaptation
+//
+// The paper optimizes against one stationary workload model; the closing
+// future-work direction (and the related fleet-controller work) closes the
+// loop online. internal/online implements it end to end: a streaming
+// k-memory SR estimator with exponential forgetting (decay d weights a
+// slice observed t slices ago by d^t, an effective window of 1/(1−d)
+// slices; d = 1 reproduces trace.ExtractSR exactly), a drift controller
+// that re-solves when any sufficiently-evidenced row of the estimate is
+// more than a total-variation threshold away from the served model, and a
+// re-solve path that never rebuilds the LP: core.PatchFrequencyLP rewrites
+// only the SR-dependent coefficients of the resident sparse program
+// (structure, bounds and sparsity pattern are reused; a probability
+// moving to or from exact zero falls back to one fresh assembly), and
+// core.OptimizeProblemCtx solves it warm-started from the previous optimal
+// basis under a bounded wall-clock budget — a failed or cancelled refresh
+// keeps the previous policy serving. dpmserved exposes the loop as
+// POST /v1/models/{id}/observe with refresh counters in /v1/stats, and
+// cmd/dpmfeed streams synthetic drifting workloads at it.
 //
 // See README.md for the tool suite (cmd/...) and EXPERIMENTS.md for the
 // paper-versus-measured record of every reproduced table and figure.
@@ -183,8 +212,13 @@ var (
 	// Evaluate computes exact discounted metrics of a policy.
 	Evaluate = core.Evaluate
 	// BuildFrequencyLP assembles the LP2/LP3/LP4 frequency program in
-	// sparse form without solving it (benchmarking, alternative solvers).
-	BuildFrequencyLP = core.BuildFrequencyLP
+	// sparse form without solving it (benchmarking, alternative solvers);
+	// PatchFrequencyLP rewrites an assembled program's coefficients in
+	// place for a structurally identical model (the online-adaptation fast
+	// path), and OptimizeProblemCtx solves such a caller-held program.
+	BuildFrequencyLP   = core.BuildFrequencyLP
+	PatchFrequencyLP   = core.PatchFrequencyLP
+	OptimizeProblemCtx = core.OptimizeProblemCtx
 	// HorizonToAlpha converts an expected session length to a discount
 	// factor; AlphaToHorizon inverts it.
 	HorizonToAlpha = core.HorizonToAlpha

@@ -112,19 +112,39 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 // returns a Result with Status lp.Cancelled and an error satisfying
 // errors.Is against context.Canceled or context.DeadlineExceeded.
 func OptimizeCtx(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	prob, err := BuildFrequencyLP(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeProblemCtx(ctx, m, opts, prob)
+}
+
+// OptimizeProblemCtx is OptimizeCtx on a caller-supplied frequency LP: prob
+// must be the program BuildFrequencyLP(m, opts) would assemble — typically
+// it was built exactly that way once and then revised in place with
+// PatchFrequencyLP as the model's SR drifted. This is the online re-solve
+// hot path: the Problem allocation, its objective vector and every
+// constraint row's index structure are reused across solves, so a refresh
+// pays only for coefficient rewrites and simplex pivots. Only cheap shape
+// checks guard the pairing of prob and m; a semantically mismatched problem
+// yields a well-formed but wrong answer, exactly as it would for any solver
+// handed the wrong data.
+func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Problem) (*Result, error) {
 	if opts.Objective.Metric == "" {
 		opts.Objective.Metric = MetricPenalty
 	}
 	if opts.UnvisitedCommand < 0 || opts.UnvisitedCommand >= m.A {
 		return nil, fmt.Errorf("core: unvisited command %d outside [0,%d)", opts.UnvisitedCommand, m.A)
 	}
+	if prob == nil {
+		return nil, fmt.Errorf("core: nil frequency LP")
+	}
+	if prob.NumVars() != m.N*m.A {
+		return nil, fmt.Errorf("core: frequency LP has %d variables, want %d", prob.NumVars(), m.N*m.A)
+	}
 	// q0 is resolved through the same helper BuildFrequencyLP uses, so the
 	// LP and the final policy evaluation agree on the initial distribution.
 	q0, err := initialDistribution(m, opts)
-	if err != nil {
-		return nil, err
-	}
-	prob, err := BuildFrequencyLP(m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -234,28 +254,12 @@ func BuildFrequencyLP(m *Model, opts Options) (*lp.Problem, error) {
 		}
 	}
 
-	// Transposed chains give, per state j, the incoming transitions
-	// (s, p_{s,j}(a)) each balance row needs; one O(nnz) transpose per
-	// command replaces an O(N²) column scan per row.
 	alpha := opts.Alpha
-	pts := make([]*mat.CSR, m.A)
-	for a := 0; a < m.A; a++ {
-		pts[a] = m.P[a].T()
-	}
+	pts := transposedChains(m)
 	var idx []int
 	var val []float64
 	for j := 0; j < m.N; j++ {
-		idx = idx[:0]
-		val = val[:0]
-		for a := 0; a < m.A; a++ {
-			idx = append(idx, j*m.A+a)
-			val = append(val, 1)
-			cols, vals := pts[a].RowNZ(j)
-			for k, s := range cols {
-				idx = append(idx, s*m.A+a)
-				val = append(val, -alpha*vals[k])
-			}
-		}
+		idx, val = balanceRowNZ(m, pts, alpha, j, idx[:0], val[:0])
 		prob.AddConstraintNZ(fmt.Sprintf("balance[%d]", j), idx, val, lp.EQ, (1-alpha)*q0[j])
 	}
 
@@ -264,19 +268,55 @@ func BuildFrequencyLP(m *Model, opts Options) (*lp.Problem, error) {
 		if err != nil {
 			return nil, err
 		}
-		idx = idx[:0]
-		val = val[:0]
-		for s := 0; s < m.N; s++ {
-			for a := 0; a < m.A; a++ {
-				if v := table.At(s, a); v != 0 {
-					idx = append(idx, s*m.A+a)
-					val = append(val, v)
-				}
-			}
-		}
+		idx, val = boundRowNZ(m, table, idx[:0], val[:0])
 		prob.AddConstraintNZ(fmt.Sprintf("%s %s %g", b.Metric, b.Rel, b.Value), idx, val, b.Rel, b.Value)
 	}
 	return prob, nil
+}
+
+// transposedChains returns the per-command transposes of the model's
+// transition matrices: per state j they give the incoming transitions
+// (s, p_{s,j}(a)) each balance row needs, so one O(nnz) transpose per
+// command replaces an O(N²) column scan per row.
+func transposedChains(m *Model) []*mat.CSR {
+	pts := make([]*mat.CSR, m.A)
+	for a := 0; a < m.A; a++ {
+		pts[a] = m.P[a].T()
+	}
+	return pts
+}
+
+// balanceRowNZ appends the raw (column, value) pairs of balance row j —
+// e_s − α·P_a(s,·)ᵀ per (s,a) column — to idx/val and returns the extended
+// slices. Pairs are neither sorted nor merged (a self-loop p_{j,j}(a)
+// duplicates the diagonal column); AddConstraintNZ and compressRowNZ both
+// normalize identically.
+func balanceRowNZ(m *Model, pts []*mat.CSR, alpha float64, j int, idx []int, val []float64) ([]int, []float64) {
+	for a := 0; a < m.A; a++ {
+		idx = append(idx, j*m.A+a)
+		val = append(val, 1)
+		cols, vals := pts[a].RowNZ(j)
+		for k, s := range cols {
+			idx = append(idx, s*m.A+a)
+			val = append(val, -alpha*vals[k])
+		}
+	}
+	return idx, val
+}
+
+// boundRowNZ appends the nonzero (column, value) pairs of a metric bound
+// row to idx/val and returns the extended slices (already sorted: the scan
+// is in column order and metric tables have no duplicate entries).
+func boundRowNZ(m *Model, table *mat.Matrix, idx []int, val []float64) ([]int, []float64) {
+	for s := 0; s < m.N; s++ {
+		for a := 0; a < m.A; a++ {
+			if v := table.At(s, a); v != 0 {
+				idx = append(idx, s*m.A+a)
+				val = append(val, v)
+			}
+		}
+	}
+	return idx, val
 }
 
 // initialDistribution resolves and validates Options.Initial (nil selects

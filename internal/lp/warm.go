@@ -139,10 +139,16 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revise
 		}
 	}
 	if !r.primalFeasible() {
-		// The RHS change broke primal feasibility. At an exported optimal
-		// basis the reduced costs are still nonnegative (they do not depend
-		// on the RHS), which is exactly the dual-simplex entry condition.
-		if !r.dualFeasible() || !r.dualSimplex() {
+		// A pure RHS change (Pareto sweep neighbours) leaves the exported
+		// basis dual feasible — reduced costs do not depend on the RHS — so
+		// dual-simplex restoration is the natural repair. A coefficient
+		// change (an SR-drift patch rewrote parts of A) can break both
+		// feasibilities at once; then the dual entry condition fails, but
+		// phase2's own repair loop — optimize treating the negative basics
+		// as degenerate, exact refactorization, dual-simplex restore at the
+		// now dual-feasible optimum — still converges from the stale basis,
+		// and any failure there falls back to a cold solve below.
+		if r.dualFeasible() && !r.dualSimplex() {
 			if r.cancelled() {
 				return &Solution{Status: Cancelled, Iterations: r.iterations, Refactorizations: r.refactors}, nil
 			}

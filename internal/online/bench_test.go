@@ -1,0 +1,90 @@
+package online_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/trace"
+)
+
+// BenchmarkOnlineRefresh is the record of what the online adaptation path
+// saves per drift refresh on the paper's disk case study: the same drifted
+// instance solved (a) the adapter's way — the resident LP's coefficients
+// rewritten in place by core.PatchFrequencyLP and the simplex warm-started
+// from the previous optimal basis — and (b) from scratch — System.Build,
+// BuildFrequencyLP, cold two-phase solve. Pivot counts are reported next to
+// wall time; the gap between the two legs is the benchtrend headline the
+// online subsystem is accountable for.
+func BenchmarkOnlineRefresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	srPrev, err := trace.ExtractSR("prev", trace.OnOff(rng, 20000, 0.05, 0.22), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srNext, err := trace.ExtractSR("next", trace.OnOff(rng, 20000, 0.09, 0.16), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := diskOpts()
+
+	// The resident state a drift refresh starts from: the previous SR's
+	// model, LP and optimal basis.
+	mPrev, err := devices.DiskSystem(srPrev).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := core.BuildFrequencyLP(mPrev, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := core.OptimizeProblemCtx(context.Background(), mPrev, opts, prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mNext, err := devices.DiskSystem(srNext).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("patched-warm", func(b *testing.B) {
+		warm := opts
+		warm.WarmBasis = prev.Basis
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := core.PatchFrequencyLP(prob, mNext, opts); err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.OptimizeProblemCtx(context.Background(), mNext, warm, prob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				if !res.WarmStarted {
+					b.Fatal("warm leg fell back to a cold solve")
+				}
+				b.ReportMetric(float64(res.LPIterations), "pivots")
+			}
+		}
+	})
+	b.Run("rebuild-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := devices.DiskSystem(srNext).Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Optimize(m, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(res.LPIterations), "pivots")
+			}
+		}
+	})
+}

@@ -43,6 +43,7 @@ type Adaptive struct {
 	sinceRe   int
 	srState   func(int) int
 	current   *Stationary
+	policy    *core.Policy
 	sys       *core.System
 	lastBasis *lp.Basis
 	stats     RefreshStats
@@ -76,6 +77,7 @@ func (a *Adaptive) Reset() {
 	a.pos = 0
 	a.sinceRe = 0
 	a.current = nil
+	a.policy = nil
 	a.srState = nil
 	a.lastBasis = nil
 	if a.Fallback != nil {
@@ -148,6 +150,7 @@ func (a *Adaptive) refresh() {
 		return
 	}
 	a.current = ctrl
+	a.policy = res.Policy
 	a.sys = sys
 	a.lastBasis = res.Basis
 	a.stats.Refreshes++
@@ -160,6 +163,15 @@ func (a *Adaptive) refresh() {
 // CurrentSystem returns the system of the most recent successful refresh
 // (nil before the first), for diagnostics.
 func (a *Adaptive) CurrentSystem() *core.System { return a.sys }
+
+// CurrentPolicy returns the optimal Markov stationary policy installed by
+// the most recent successful refresh (nil before the first). Its state
+// indices are those of CurrentSystem; consecutive refreshes share them (the
+// extractor's state count is fixed by Memory), so snapshots from different
+// refreshes are directly comparable — the drift tests diff them state by
+// state to prove a refresh changed the served behavior, not just the
+// numbers behind it.
+func (a *Adaptive) CurrentPolicy() *core.Policy { return a.policy }
 
 var _ Controller = (*Adaptive)(nil)
 

@@ -165,6 +165,59 @@ func TestAdaptiveTracksRegimeSwitch(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDriftChangesCommands: a refresh under a genuinely drifted SR
+// must change the served command on at least one state — not merely count
+// pivots. The workload flips from long idle runs (deep sleep pays) to a
+// busy regime (staying awake pays), so the optimal mode command has to move
+// somewhere; the test diffs per-state policy snapshots taken at the end of
+// each regime, when the extraction window sits entirely inside it.
+func TestAdaptiveDriftChangesCommands(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	half := 20000
+	calm := trace.OnOff(rng, half, 0.002, 0.05) // mean idle run 500: sleep deeply
+	busy := trace.OnOff(rng, half, 0.30, 0.05)  // 86% load: stay awake
+	counts := trace.Concat(calm, busy)
+
+	a := &policy.Adaptive{
+		Rebuild:  adaptiveSystem,
+		Opts:     adaptiveOpts(),
+		Window:   4000,
+		Period:   2000,
+		Memory:   1,
+		Fallback: &policy.Greedy{WakeCmd: 0, SleepCmd: 1},
+		Seed:     3,
+	}
+	a.Reset()
+
+	var calmPolicy, busyPolicy *core.Policy
+	for i, c := range counts {
+		a.Command(policy.Observation{Requests: c, Time: int64(i)})
+		// Snapshot the policy serving at the end of each regime (the window
+		// is then entirely inside the regime).
+		if i == half-1 {
+			calmPolicy = a.CurrentPolicy()
+		}
+	}
+	busyPolicy = a.CurrentPolicy()
+
+	if calmPolicy == nil || busyPolicy == nil {
+		t.Fatalf("missing policy snapshots (refreshes: %+v)", a.Stats())
+	}
+	if calmPolicy.N() != busyPolicy.N() {
+		t.Fatalf("snapshot state counts differ: %d vs %d", calmPolicy.N(), busyPolicy.N())
+	}
+	changed := 0
+	for s := 0; s < calmPolicy.N(); s++ {
+		if calmPolicy.ModeCommand(s) != busyPolicy.ModeCommand(s) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Errorf("drifted refresh changed the served command on no state (pivot counters alone are not adaptation)")
+	}
+	t.Logf("mode command changed on %d/%d states across the drift", changed, calmPolicy.N())
+}
+
 // TestAdaptiveStationaryConverges: on a stationary workload the adaptive
 // controller matches the static optimum closely (no adaptation penalty).
 func TestAdaptiveStationaryConverges(t *testing.T) {

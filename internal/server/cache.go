@@ -122,6 +122,63 @@ func (c *solveCache) len() int {
 	return c.ll.Len()
 }
 
+// export snapshots the warm-indexed entries (those carrying a basis) in
+// LRU→MRU order, so restoring them by sequential put reproduces the
+// recency order. Results and sweep payloads are deliberately not exported:
+// bases are tiny (m ints), model-agnostic to restore (the solver validates
+// any basis against the actual problem and falls back to a cold solve),
+// and they are what warm starts — the cache's whole point across a restart
+// — need; a stale cached Result, by contrast, would be served verbatim as
+// an exact hit with no cross-check against the rebuilt registry.
+func (c *solveCache) export() []persistedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]persistedEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.basis == nil || e.family == "" {
+			continue
+		}
+		blob, err := e.basis.MarshalBinary()
+		if err != nil {
+			continue // a basis that cannot serialize is just not persisted
+		}
+		out = append(out, persistedEntry{
+			Key:    e.key,
+			Family: e.family,
+			Bounds: append([]float64(nil), e.bounds...),
+			Basis:  blob,
+		})
+	}
+	return out
+}
+
+// restore re-inserts persisted entries, skipping any whose basis no longer
+// decodes, and returns how many were accepted. Restored entries carry no
+// result — they serve as warm-start donors only; the first exact query
+// against one re-solves (warm) and overwrites it with a full entry.
+func (c *solveCache) restore(entries []persistedEntry) int {
+	restored := 0
+	for i := range entries {
+		pe := &entries[i]
+		if pe.Key == "" || pe.Family == "" {
+			continue
+		}
+		basis := new(lp.Basis)
+		if err := basis.UnmarshalBinary(pe.Basis); err != nil {
+			continue
+		}
+		c.put(&cacheEntry{
+			key:    pe.Key,
+			family: pe.Family,
+			bounds: append([]float64(nil), pe.Bounds...),
+			basis:  basis,
+		})
+		restored++
+	}
+	return restored
+}
+
 // addToFamily and removeFromFamily maintain the warm index; both run under
 // c.mu.
 func (c *solveCache) addToFamily(e *cacheEntry) {

@@ -23,6 +23,16 @@ type counters struct {
 	CancelledSolves atomic.Int64 // solves aborted by deadline or detach
 	Pivots          atomic.Int64 // total simplex pivots performed
 	Evictions       atomic.Int64 // cache entries evicted by the LRU
+
+	// Online adaptation (POST /v1/models/{id}/observe).
+	ObserveRequests      atomic.Int64 // observe bodies accepted
+	SlicesIngested       atomic.Int64 // workload slices fed to estimators
+	OnlineRefreshes      atomic.Int64 // policies installed by the drift controller
+	OnlineDriftRefreshes atomic.Int64 // the subset triggered by measured drift
+	OnlinePatched        atomic.Int64 // refreshes that revised the LP in place
+	OnlineRebuilt        atomic.Int64 // refreshes that reassembled the LP
+	OnlineWarm           atomic.Int64 // refreshes whose solve reused the previous basis
+	OnlineFailed         atomic.Int64 // refresh attempts that kept the old policy
 }
 
 // snapshot returns the counters as a name→value map (sorted rendering is
@@ -40,6 +50,15 @@ func (c *counters) snapshot() map[string]int64 {
 		"cancelled_solves": c.CancelledSolves.Load(),
 		"pivots":           c.Pivots.Load(),
 		"evictions":        c.Evictions.Load(),
+
+		"observe_requests":       c.ObserveRequests.Load(),
+		"slices_ingested":        c.SlicesIngested.Load(),
+		"online_refreshes":       c.OnlineRefreshes.Load(),
+		"online_drift_refreshes": c.OnlineDriftRefreshes.Load(),
+		"online_patched":         c.OnlinePatched.Load(),
+		"online_rebuilt":         c.OnlineRebuilt.Load(),
+		"online_warm":            c.OnlineWarm.Load(),
+		"online_failed":          c.OnlineFailed.Load(),
 	}
 }
 

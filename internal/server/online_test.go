@@ -1,0 +1,215 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// observeBody builds the observe request used across the online tests:
+// power minimization under a penalty bound, 1-memory estimator with a
+// ~200-slice window, drift checks every 25 slices.
+func observeBody(counts []int) map[string]any {
+	return map[string]any{
+		"counts":          counts,
+		"horizon":         1e4,
+		"objective":       "power",
+		"bounds":          []map[string]any{{"metric": "penalty", "rel": "<=", "value": 1.8}},
+		"memory":          1,
+		"decay":           0.995,
+		"drift_threshold": 0.05,
+		"min_slices":      300,
+		"min_evidence":    8,
+		"check_every":     25,
+		"include_policy":  true,
+	}
+}
+
+// TestObserveDriftRefreshE2E is the acceptance path of the online
+// subsystem, driven entirely through the HTTP surface: a daemon fed a
+// generated trace whose (p01, p10) drift mid-stream must (1) install an
+// initial policy and refresh it on drift at least once, (2) serve every
+// refresh after the first through the LP patch path — the rebuild counter
+// stays at exactly one — warm-starting with strictly fewer pivots than a
+// cold solve of the same instance, and (3) end up serving the policy a
+// from-scratch solve on the drifted SR produces, to 1e-8.
+func TestObserveDriftRefreshE2E(t *testing.T) {
+	s, base := newTestServer(t)
+
+	rng := rand.New(rand.NewSource(17))
+	counts := trace.Concat(
+		trace.OnOff(rng, 1500, 0.03, 0.25), // calm regime: sleeping pays
+		trace.OnOff(rng, 1500, 0.20, 0.10), // drifted regime: the bound binds
+	)
+
+	var initialPolicy, servedPolicy *PolicyJSON
+	driftPivots := -1
+	for lo := 0; lo < len(counts); lo += 50 {
+		hi := min(lo+50, len(counts))
+		var resp ObserveResponse
+		if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", observeBody(counts[lo:hi]), &resp); st != http.StatusOK {
+			t.Fatalf("observe[%d:%d] status %d", lo, hi, st)
+		}
+		if resp.RefreshError != "" {
+			t.Fatalf("refresh failed at slice %d: %s", hi, resp.RefreshError)
+		}
+		if resp.Refreshed {
+			switch resp.Trigger {
+			case "initial":
+				initialPolicy = resp.Policy
+			case "drift":
+				servedPolicy = resp.Policy
+				driftPivots = resp.Pivots
+				if !resp.Patched {
+					t.Errorf("drift refresh at slice %d rebuilt the LP instead of patching", hi)
+				}
+				if !resp.WarmStarted {
+					t.Errorf("drift refresh at slice %d did not warm-start", hi)
+				}
+			}
+		}
+	}
+
+	if c := counter(t, base, "online_refreshes"); c < 2 {
+		t.Fatalf("online_refreshes = %d, want ≥ 2", c)
+	}
+	if c := counter(t, base, "online_drift_refreshes"); c < 1 {
+		t.Fatalf("online_drift_refreshes = %d, want ≥ 1", c)
+	}
+	// The patch path: exactly one full LP assembly (the initial refresh),
+	// everything after it revised in place.
+	if c := counter(t, base, "online_rebuilt"); c != 1 {
+		t.Errorf("online_rebuilt = %d, want exactly 1", c)
+	}
+	if rc, wc := counter(t, base, "online_patched"), counter(t, base, "online_warm"); rc < 1 || wc < 1 {
+		t.Errorf("online_patched = %d, online_warm = %d, want ≥ 1 each", rc, wc)
+	}
+	if c := counter(t, base, "online_failed"); c != 0 {
+		t.Errorf("online_failed = %d, want 0", c)
+	}
+	if c := counter(t, base, "slices_ingested"); c != int64(len(counts)) {
+		t.Errorf("slices_ingested = %d, want %d", c, len(counts))
+	}
+
+	// From-scratch reference on the SR the daemon ended up serving: the
+	// drift refresh must have paid strictly fewer pivots than the cold
+	// solve, and the served policy must match to 1e-8.
+	e, ok := s.reg.resolve("disk")
+	if !ok {
+		t.Fatal("disk preset missing")
+	}
+	s.onlineMu.Lock()
+	oe := s.onlines[e.ID]
+	s.onlineMu.Unlock()
+	if oe == nil {
+		t.Fatal("no online adapter for the disk model")
+	}
+	served := oe.adapter.ServedSR()
+	res := oe.adapter.Current()
+	if served == nil || res == nil {
+		t.Fatal("adapter serves no policy")
+	}
+	sys := *e.Sys
+	sys.SR = served
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := s.buildOptions(e, &OptimizeRequest{
+		Horizon:   1e4,
+		Objective: "power",
+		Bounds:    []BoundSpec{{Metric: "penalty", Rel: "<=", Value: 1.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.Optimize(m, opts)
+	if err != nil {
+		t.Fatalf("from-scratch solve: %v", err)
+	}
+	if driftPivots < 0 || driftPivots >= cold.LPIterations {
+		t.Errorf("drift refresh pivots = %d, cold solve of the same instance = %d; want warm < cold",
+			driftPivots, cold.LPIterations)
+	}
+	if math.Abs(res.Objective-cold.Objective) > 1e-8 {
+		t.Errorf("served objective %g, from-scratch %g", res.Objective, cold.Objective)
+	}
+	for st := 0; st < m.N; st++ {
+		for c := 0; c < m.A; c++ {
+			if d := math.Abs(res.Policy.CommandDist(st)[c] - cold.Policy.CommandDist(st)[c]); d > 1e-8 {
+				t.Fatalf("policy(%d,%d): served %g, from-scratch %g (Δ %g)",
+					st, c, res.Policy.CommandDist(st)[c], cold.Policy.CommandDist(st)[c], d)
+			}
+		}
+	}
+
+	// The drift must have visibly changed the served policy.
+	if initialPolicy == nil || servedPolicy == nil {
+		t.Fatal("missing policy payloads from the refresh responses")
+	}
+	changed := false
+	for i := range servedPolicy.Dist {
+		for j := range servedPolicy.Dist[i] {
+			if math.Abs(servedPolicy.Dist[i][j]-initialPolicy.Dist[i][j]) > 0.5 {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Errorf("served policy did not change across the drift")
+	}
+}
+
+// TestObserveValidation: unknown models, empty and negative batches, hooked
+// systems and conflicting reconfiguration are rejected.
+func TestObserveValidation(t *testing.T) {
+	_, base := newTestServer(t)
+
+	var er errorResponse
+	if st := call(t, http.MethodPost, base+"/v1/models/nosuch/observe", observeBody([]int{1}), &er); st != http.StatusNotFound {
+		t.Errorf("unknown model status %d", st)
+	}
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", map[string]any{"counts": []int{}}, &er); st != http.StatusBadRequest {
+		t.Errorf("empty batch status %d", st)
+	}
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", map[string]any{"counts": []int{1, -1}}, &er); st != http.StatusBadRequest {
+		t.Errorf("negative count status %d", st)
+	}
+	// The CPU preset has a wake-on-request hook; its SR cannot be swapped.
+	if st := call(t, http.MethodPost, base+"/v1/models/cpu/observe", observeBody([]int{1, 0, 1}), &er); st != http.StatusBadRequest {
+		t.Errorf("hooked model status %d", st)
+	}
+
+	// First observe fixes the option family; a conflicting one is rejected,
+	// a repeat (or a bare batch) is fine.
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", observeBody([]int{1, 0, 1}), nil); st != http.StatusOK {
+		t.Fatalf("first observe status %d", st)
+	}
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", map[string]any{"counts": []int{0, 1}}, nil); st != http.StatusOK {
+		t.Errorf("bare follow-up batch status %d", st)
+	}
+	conflicting := observeBody([]int{1})
+	conflicting["objective"] = "penalty"
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", conflicting, &er); st != http.StatusConflict {
+		t.Errorf("conflicting options status %d", st)
+	}
+	// Estimator tuning conflicts too — a different memory would silently
+	// change the adapted model family otherwise.
+	tuned := observeBody([]int{1})
+	tuned["memory"] = 3
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", tuned, &er); st != http.StatusConflict {
+		t.Errorf("conflicting memory status %d", st)
+	}
+	if !strings.Contains(er.Error, "memory") {
+		t.Errorf("conflict error does not name the field: %q", er.Error)
+	}
+	// Restating the exact original configuration is not a conflict.
+	if st := call(t, http.MethodPost, base+"/v1/models/disk/observe", observeBody([]int{0, 1}), nil); st != http.StatusOK {
+		t.Errorf("repeated identical config status %d", st)
+	}
+}

@@ -19,13 +19,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/models    register a model (preset or SP/SR parameters)
-//	GET  /v1/models    list resident models
-//	POST /v1/optimize  one constrained policy optimization
-//	POST /v1/sweep     a Pareto bound sweep (internal/sweep worker pool)
-//	GET  /v1/healthz   liveness + model count
-//	GET  /v1/stats     serving counters as JSON
-//	GET  /metrics      the same counters, Prometheus text format
+//	POST /v1/models                register a model (preset or SP/SR parameters)
+//	GET  /v1/models                list resident models
+//	POST /v1/models/{id}/observe   ingest workload slices (online adaptation)
+//	POST /v1/optimize              one constrained policy optimization
+//	POST /v1/sweep                 a Pareto bound sweep (internal/sweep worker pool)
+//	GET  /v1/healthz               liveness + model count
+//	GET  /v1/stats                 serving counters as JSON
+//	GET  /metrics                  the same counters, Prometheus text format
+//
+// The observe endpoint is the online-adaptation loop (internal/online): a
+// per-model streaming SR estimator ingests count slices, a drift controller
+// re-solves when the estimate leaves the served policy's model, and every
+// re-solve revises the resident LP in place (core.PatchFrequencyLP) and
+// warm-starts from the previous optimal basis.
 package server
 
 import (
@@ -38,6 +45,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cli"
@@ -66,6 +74,11 @@ type Config struct {
 	MaxSweepPoints int
 }
 
+// maxObserveSlices bounds one observe request's count batch; a feeder
+// streaming faster than this per request should chunk (and would defeat the
+// drift controller's cadence anyway).
+const maxObserveSlices = 1 << 20
+
 // Server is the resident policy service. Create with New; serve via
 // Handler.
 type Server struct {
@@ -76,6 +89,11 @@ type Server struct {
 	stats   counters
 	mux     *http.ServeMux
 	start   time.Time
+
+	// onlineMu guards onlines, the per-model online adaptation state
+	// (created lazily by the first observe of a model).
+	onlineMu sync.Mutex
+	onlines  map[string]*onlineEntry
 }
 
 // New builds a Server and registers the built-in device presets (their
@@ -103,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		flights: newFlightGroup(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		onlines: make(map[string]*onlineEntry),
 	}
 	if !cfg.SkipPresets {
 		for _, name := range cli.DeviceNames() {
@@ -122,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/models", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("POST /v1/models/{model}/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)

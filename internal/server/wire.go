@@ -235,6 +235,80 @@ type OptimizeResponse struct {
 	ElapsedMS   float64     `json:"elapsed_ms"`
 }
 
+// ObserveRequest is the body of POST /v1/models/{id}/observe: a batch of
+// per-slice request counts for the model's streaming SR estimator, plus
+// the estimator/drift configuration and the optimization options every
+// refresh solves under (zero values select the adapter defaults). The
+// configuration is fixed when the model's online adapter is created by its
+// first observe; later requests may repeat the same settings or omit them,
+// and any explicitly conflicting option or tuning field is rejected with
+// 409 — the adaptation loop's LP patch path and warm starts require every
+// refresh to solve a structurally identical program, and a silently
+// ignored reconfiguration would leave the caller adapting under settings
+// it does not believe it has. TimeoutMS becomes the per-refresh solve
+// budget: a refresh whose simplex exceeds it is cancelled mid-pivot and
+// the previous policy stays.
+type ObserveRequest struct {
+	OptimizeRequest
+	// Counts are the observed per-slice request counts, oldest first.
+	Counts []int `json:"counts"`
+	// Memory is the extractor history length k (default 1).
+	Memory int `json:"memory,omitempty"`
+	// Decay is the estimator's per-slice forgetting factor in (0,1]
+	// (default 0.995 ≈ a 200-slice effective window).
+	Decay float64 `json:"decay,omitempty"`
+	// DriftThreshold is the max per-row total-variation distance between
+	// the estimate and the served SR before a re-solve (default 0.05).
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// MinSlices gates the first solve (default 100 observed transitions).
+	MinSlices int `json:"min_slices,omitempty"`
+	// MinEvidence excludes rows with less decayed transition mass from the
+	// drift measure (default 8).
+	MinEvidence float64 `json:"min_evidence,omitempty"`
+	// CheckEvery is the number of ingested slices between drift checks
+	// (default 32).
+	CheckEvery int `json:"check_every,omitempty"`
+}
+
+// hasOptions reports whether the request carries any optimization options —
+// used to reject conflicting reconfiguration of an existing adapter while
+// letting pure count batches through.
+func (r *ObserveRequest) hasOptions() bool {
+	return r.Alpha != 0 || r.Horizon != 0 || r.Objective != "" || r.Maximize || len(r.Bounds) > 0
+}
+
+// ObserveResponse reports one ingest: what the drift controller measured
+// and whether it refreshed the served policy.
+type ObserveResponse struct {
+	Model string `json:"model"`
+	// Ingested counts this batch's slices; Slices the model's lifetime total.
+	Ingested int   `json:"ingested"`
+	Slices   int64 `json:"slices"`
+	// Drift is the measured drift at this batch's check (0 if none ran).
+	Drift float64 `json:"drift"`
+	// Refreshed reports a re-solve installed a new policy; Trigger is
+	// "initial" or "drift" when one was attempted. Patched means the
+	// resident LP was revised in place (no rebuild); WarmStarted that the
+	// solve reused the previous optimal basis; Pivots its simplex work.
+	Refreshed   bool   `json:"refreshed"`
+	Trigger     string `json:"trigger,omitempty"`
+	Patched     bool   `json:"patched,omitempty"`
+	WarmStarted bool   `json:"warm_started,omitempty"`
+	Pivots      int    `json:"pivots"`
+	// Refreshes is the model's lifetime refresh count.
+	Refreshes int `json:"refreshes"`
+	// RefreshError reports a refresh attempt that failed (the previous
+	// policy, if any, keeps serving).
+	RefreshError string `json:"refresh_error,omitempty"`
+	// Serving reports that a policy is installed; Objective/Averages (and
+	// Policy when include_policy is set) describe it.
+	Serving   bool               `json:"serving"`
+	Objective float64            `json:"objective,omitempty"`
+	Averages  map[string]float64 `json:"averages,omitempty"`
+	Policy    *PolicyJSON        `json:"policy,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
 // SweepSpec selects the swept constraint of POST /v1/sweep.
 type SweepSpec struct {
 	Metric  string    `json:"metric"`

@@ -13,10 +13,17 @@ import (
 // recent slice), and the request count of a state is its newest bit.
 // Transition probabilities are relative transition counts; histories that
 // never occur in the trace receive a uniform distribution over their two
-// structurally reachable successors.
+// structurally reachable successors (such states are unreachable from any
+// observed history, so the convention cannot distort optimization — it
+// only keeps the matrix stochastic). Negative counts are rejected: they
+// can only come from a corrupted stream, and Binary would silently fold
+// them into idle slices.
 func ExtractSR(name string, counts []int, memory int) (*core.ServiceRequester, error) {
 	if memory < 1 || memory > 16 {
 		return nil, fmt.Errorf("trace: memory %d outside [1,16]", memory)
+	}
+	if err := checkCounts(counts); err != nil {
+		return nil, err
 	}
 	bits := Binary(counts)
 	if len(bits) <= memory {
@@ -66,6 +73,17 @@ func ExtractSR(name string, counts []int, memory int) (*core.ServiceRequester, e
 	return sr, nil
 }
 
+// checkCounts rejects negative per-slice counts with a clear error, shared
+// by both extractors.
+func checkCounts(counts []int) error {
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("trace: negative request count %d at slice %d", c, i)
+		}
+	}
+	return nil
+}
+
 // BinaryHistoryMapper returns a stateful mapper from per-slice arrival
 // counts to the k-memory SR state indices of ExtractSR models (a shift
 // register over the binarized stream, LSB = most recent slice). It is meant
@@ -101,6 +119,9 @@ func ExtractSRLevels(name string, counts []int, maxLevel int) (*core.ServiceRequ
 	}
 	if len(counts) < 2 {
 		return nil, fmt.Errorf("trace: stream of %d slices too short", len(counts))
+	}
+	if err := checkCounts(counts); err != nil {
+		return nil, err
 	}
 	n := maxLevel + 1
 	clip := func(c int) int {

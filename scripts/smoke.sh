@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Smoke test for dpmserved: start the daemon, verify health, run one
-# optimize query end to end (cold solve, then an exact cache hit), and shut
-# it down cleanly. CI runs this against a race-instrumented binary
-# (`make smoke`); it needs only bash + curl.
+# optimize query end to end (cold solve, then an exact cache hit), stream a
+# short drifting workload at the online-adaptation endpoint (dpmfeed) and
+# assert a warm drift refresh happened, and shut it down cleanly. CI runs
+# this against a race-instrumented daemon (`make smoke`); it needs only
+# bash + curl + the two binaries.
 set -euo pipefail
 
-BIN="${1:?usage: smoke.sh path/to/dpmserved}"
+BIN="${1:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed}"
+FEED="${2:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed}"
 LOG="$(mktemp)"
 trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
@@ -47,6 +50,22 @@ echo "$HET" | grep -q '"cache": "cold"' || fail "heterogeneous query not a cold 
 
 curl -sSf "$URL/metrics" | grep -q '^dpmserved_exact_hits 1$' || { echo "smoke: exact_hits counter != 1"; exit 1; }
 
+# Online adaptation: stream a short two-regime trace at the race-instrumented
+# daemon. dpmfeed itself exits non-zero unless at least one drift-triggered
+# refresh happened (-expect-drift default); the counters then assert the
+# refresh took the warm patched path rather than rebuilding and solving cold.
+"$FEED" -url "$URL" -model disk -slices 1600 -flip 800 -chunk 50 \
+  -p01 0.03 -p10 0.25 -p01b 0.20 -p10b 0.10 \
+  -decay 0.99 -min-slices 200 -q \
+  || { echo "smoke: dpmfeed failed"; exit 1; }
+METRICS=$(curl -sSf "$URL/metrics")
+echo "$METRICS" | grep -q '^dpmserved_online_drift_refreshes [1-9]' \
+  || { echo "smoke: no drift refresh recorded"; echo "$METRICS" | grep online; exit 1; }
+echo "$METRICS" | grep -q '^dpmserved_online_warm [1-9]' \
+  || { echo "smoke: no warm online refresh recorded"; echo "$METRICS" | grep online; exit 1; }
+echo "$METRICS" | grep -q '^dpmserved_online_patched [1-9]' \
+  || { echo "smoke: no patched online refresh recorded"; echo "$METRICS" | grep online; exit 1; }
+
 kill -TERM "$PID"
 wait "$PID" || { echo "smoke: daemon exited non-zero on SIGTERM"; exit 1; }
-echo "smoke: ok (cold solve, cache hit, composite preset, clean shutdown)"
+echo "smoke: ok (cold solve, cache hit, composite preset, online drift refresh, clean shutdown)"
