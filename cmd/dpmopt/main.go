@@ -28,16 +28,27 @@ func main() {
 	bounds := flag.String("bounds", "", "comma-separated constraints, e.g. 'penalty<=0.5,loss<=0.2'")
 	p01 := flag.Float64("p01", 0, "workload idle→busy probability per slice (0 = device default)")
 	p10 := flag.Float64("p10", 0, "workload busy→idle probability per slice (0 = device default)")
+	factor := flag.String("factorization", "auto", "simplex basis kernel: auto, dense, sparse, tableau")
+	pricing := flag.String("pricing", "auto", "simplex pricing rule: auto, dantzig, devex, partial")
+	maxPivots := flag.Int("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*device, *horizon, *minimize, *bounds, *p01, *p10); err != nil {
+	if err := run(*device, *horizon, *minimize, *bounds, *p01, *p10, *factor, *pricing, *maxPivots); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmopt: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(device string, horizon float64, minimize, bounds string, p01, p10 float64) error {
+func run(device string, horizon float64, minimize, bounds string, p01, p10 float64, factor, pricing string, maxPivots int) error {
 	d, err := cli.NewDevice(device, p01, p10)
+	if err != nil {
+		return err
+	}
+	lpFactor, err := lp.ParseFactorization(factor)
+	if err != nil {
+		return err
+	}
+	lpPricing, err := lp.ParsePricing(pricing)
 	if err != nil {
 		return err
 	}
@@ -55,10 +66,13 @@ func run(device string, horizon float64, minimize, bounds string, p01, p10 float
 	}
 
 	res, err := core.Optimize(m, core.Options{
-		Alpha:     core.HorizonToAlpha(horizon),
-		Initial:   core.Delta(m.N, d.Sys.Index(d.Initial)),
-		Objective: obj,
-		Bounds:    bs,
+		Alpha:           core.HorizonToAlpha(horizon),
+		Initial:         core.Delta(m.N, d.Sys.Index(d.Initial)),
+		Objective:       obj,
+		Bounds:          bs,
+		LPFactorization: lpFactor,
+		LPPricing:       lpPricing,
+		LPMaxPivots:     maxPivots,
 	})
 	if err != nil {
 		return err

@@ -12,12 +12,15 @@
 //     queue, composition, policies, LP2/LP3/LP4 policy optimization,
 //     Pareto exploration);
 //   - internal/lp — two-phase revised simplex over a column-sparse
-//     constraint matrix, keeping only a dense LU of the m×m basis
-//     (eta-file updates, periodic refactorization), plus optimal-basis
-//     export/import (lp.Basis, lp.SolveWithBasis) so the closely related
-//     LPs of a Pareto sweep warm-start each other, with dual-simplex
+//     constraint matrix behind one configurable entry point, lp.Solver
+//     (see "Solver architecture" below): pluggable basis factorizations
+//     (dense LU with an eta file, or Markowitz-ordered sparse LU with
+//     Forrest–Tomlin updates) and pricing rules (Dantzig, Devex, partial)
+//     selected by functional options or by problem size, plus
+//     optimal-basis export/import (lp.Basis) so the closely related LPs
+//     of a Pareto sweep warm-start each other, with dual-simplex
 //     restoration when a bound change breaks feasibility; the legacy
-//     dense tableau survives as lp.SolveDense for parity tests and
+//     dense tableau survives behind lp.FactorTableau for parity tests and
 //     benchmarks;
 //   - internal/sweep — the concurrent sweep engine: a bounded
 //     GOMAXPROCS-sized worker pool with deterministic input-ordered
@@ -51,8 +54,10 @@
 //     Exact hits return cached results with zero pivots, near hits
 //     warm-start from the nearest cached basis, concurrent identical
 //     queries share one solve, per-request deadlines cancel the
-//     simplex mid-pivot (OptimizeCtx / lp.SolveWithBasisCtx), and the
-//     warm-start basis cache persists across restarts (-cache-file).
+//     simplex mid-pivot (OptimizeCtx → lp.Solver.Solve), requests may pin
+//     solver strategies and pivot budgets (factorization / pricing /
+//     max_pivots), and the warm-start basis cache persists across
+//     restarts (-cache-file).
 //     Endpoints: POST /v1/models, GET /v1/models,
 //     POST /v1/models/{id}/observe, POST /v1/optimize, POST /v1/sweep,
 //     GET /v1/healthz, GET /v1/stats, GET /metrics — see the README's
@@ -100,6 +105,48 @@
 // six-component platform's 144 joint commands to 8. The legacy dense
 // CompositeSP remains as the parity reference; the factored path is
 // exercised against it to 1e-8 by the randomized parity suite.
+//
+// # Solver architecture
+//
+// All policy optimization funnels into one object: lp.NewSolver(options...)
+// builds an immutable, concurrency-safe Solver, and Solve(ctx, p, warm) runs
+// one two-phase revised-simplex solve under it. Two strategy axes are
+// pluggable per solve:
+//
+//   - Factorization (lp.WithFactorization) — how B⁻¹ is represented.
+//     FactorDense keeps a dense LU of the m×m basis with product-form eta
+//     updates: unbeatable constant factors while the basis fits in cache,
+//     hopeless beyond a few thousand rows. FactorSparse keeps a sparse LU
+//     ordered by Markowitz counts under threshold partial pivoting, updated
+//     in place by Forrest–Tomlin row etas: everything — factorization,
+//     FTRAN/BTRAN, update — is O(nnz + fill), which is what lets the 10⁴-state
+//     composite platforms solve at all. FactorTableau routes to the legacy
+//     full-tableau reference. FactorAuto (the default) switches on basis size.
+//   - Pricing (lp.WithPricing) — how the entering column is chosen.
+//     PriceDantzig takes the most negative reduced cost: cheapest per
+//     iteration, prone to long stalls on stiff instances. PriceDevex keeps
+//     approximate steepest-edge reference weights, maintained in O(1) per
+//     column touched by the pivot row: fewer, better pivots on the
+//     ill-conditioned policy LPs (discounts at 1−10⁻⁶). PricePartial scans a
+//     rotating window — for very wide programs where even reading every
+//     reduced cost is the bottleneck. PriceAuto (the default) picks Devex on
+//     large problems and Dantzig below.
+//
+// At sparse scale the pivot path is additionally stabilized: ratio-test
+// pivots must clear a floor relative to the FTRAN direction's magnitude,
+// and cold solves run on a deterministically jittered rhs that removes the
+// massive primal degeneracy of policy LPs (the exact rhs is restored at
+// optimality and any residual infeasibility repaired by dual simplex).
+// Small problems keep the exact unperturbed pivot path.
+//
+// Resource bounds compose with both axes: lp.WithMaxPivots stops a solve
+// after a pivot budget with Status lp.BudgetExceeded (an error matching
+// lp.ErrBudgetExceeded — a resource verdict, not a statement about the
+// problem), and lp.WithWallClock derives a deadline context. The strategy
+// and budget knobs thread end to end: core.Options carries LPFactorization /
+// LPPricing / LPMaxPivots, dpmserved accepts them per request (fingerprinted
+// into its cache key), and the online adapter's Config.PivotBudget meters
+// refresh work deterministically.
 //
 // # Online adaptation
 //

@@ -176,7 +176,7 @@ func SolveLP1(m *Model, metric string, alpha float64) (mat.Vector, error) {
 			prob.AddConstraintNZ(fmt.Sprintf("v[%d]≤q(%d,%d)", s, s, a), idx, val, lp.LE, cost.At(s, a))
 		}
 	}
-	sol, err := lp.Solve(prob)
+	sol, _, err := lp.NewSolver().Solve(nil, prob, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: LP1: %w", err)
 	}

@@ -57,6 +57,29 @@ type Options struct {
 	// degenerate LPs with multiple optima it may extract a different
 	// optimal policy (equal objective) than a cold solve would.
 	WarmBasis *lp.Basis
+	// LPFactorization selects the simplex basis-kernel strategy (the zero
+	// value lp.FactorAuto picks sparse LU with Forrest–Tomlin updates for
+	// large bases and dense LU below). Concrete enums rather than opaque
+	// lp.Option closures so servers can fingerprint the knob into cache
+	// keys.
+	LPFactorization lp.Factorization
+	// LPPricing selects the simplex pricing rule (the zero value
+	// lp.PriceAuto picks Devex for large problems and Dantzig below).
+	LPPricing lp.Pricing
+	// LPMaxPivots bounds the simplex pivots of one solve; 0 is unlimited.
+	// An exhausted budget surfaces as Status lp.BudgetExceeded — a resource
+	// verdict callers treat like a deadline, not a statement about the
+	// problem.
+	LPMaxPivots int
+}
+
+// lpSolver builds the configured lp.Solver for these options.
+func (o *Options) lpSolver() *lp.Solver {
+	return lp.NewSolver(
+		lp.WithFactorization(o.LPFactorization),
+		lp.WithPricing(o.LPPricing),
+		lp.WithMaxPivots(o.LPMaxPivots),
+	)
 }
 
 // Result is the outcome of policy optimization.
@@ -80,11 +103,16 @@ type Result struct {
 	Eval *Evaluation
 	// LPIterations counts simplex pivots.
 	LPIterations int
-	// LPRefactorizations counts full basis refactorizations (each a dense
-	// O(m³) LU of the basis matrix). Together with LPIterations this is the
-	// solver work a query actually performed — what the composite benchmarks
-	// report next to wall time.
+	// LPRefactorizations counts full basis refactorizations (O(m³) under
+	// the dense factorization, O(nnz + fill) under the sparse one).
+	// Together with LPIterations this is the solver work a query actually
+	// performed — what the composite benchmarks report next to wall time.
 	LPRefactorizations int
+	// LPFactorNNZ is the stored nonzeros of the final basis factorization
+	// (m² dense, nnz(L)+nnz(U)+etas sparse) — the fill-in statistic that
+	// shows whether the sparse kernel is containing fill on this model
+	// family.
+	LPFactorNNZ int
 	// Basis is the optimal LP basis, reusable as Options.WarmBasis for the
 	// next solve of a structurally identical problem.
 	Basis *lp.Basis
@@ -106,7 +134,7 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 }
 
 // OptimizeCtx is Optimize under a context. Cancellation is checked inside
-// the simplex pivot loop (lp.SolveWithBasisCtx), so a deadline or cancel
+// the simplex pivot loop (lp.Solver.Solve), so a deadline or cancel
 // aborts a solve mid-flight within one pivot — the property long-lived
 // servers need to make per-request deadlines real. A cancelled solve
 // returns a Result with Status lp.Cancelled and an error satisfying
@@ -149,11 +177,12 @@ func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Pr
 		return nil, err
 	}
 
-	sol, basis, err := lp.SolveWithBasisCtx(ctx, prob, opts.WarmBasis)
+	sol, basis, err := opts.lpSolver().Solve(ctx, prob, opts.WarmBasis)
 	res := &Result{
 		Status:             sol.Status,
 		LPIterations:       sol.Iterations,
 		LPRefactorizations: sol.Refactorizations,
+		LPFactorNNZ:        sol.FactorNNZ,
 		Basis:              basis,
 		WarmStarted:        sol.WarmStarted,
 	}

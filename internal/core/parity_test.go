@@ -50,18 +50,24 @@ func TestFrequencyLPRevisedMatchesDense(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: BuildFrequencyLP: %v", tc.name, err)
 		}
-		rev, revErr := lp.Solve(prob)
 		den, denErr := lp.SolveDense(prob)
-		if (revErr == nil) != (denErr == nil) || rev.Status != den.Status {
-			t.Errorf("%s: revised status %v (err %v) vs dense %v (err %v)",
-				tc.name, rev.Status, revErr, den.Status, denErr)
-			continue
-		}
-		if revErr != nil {
-			continue
-		}
-		if d := math.Abs(rev.Objective - den.Objective); d > 1e-8 {
-			t.Errorf("%s: revised %.12g vs dense %.12g (Δ=%g)", tc.name, rev.Objective, den.Objective, d)
+		for _, f := range []lp.Factorization{lp.FactorDense, lp.FactorSparse} {
+			s := lp.NewSolver(lp.WithFactorization(f))
+			rev, _, revErr := s.Solve(nil, prob, nil)
+			if (revErr == nil) != (denErr == nil) || rev.Status != den.Status {
+				t.Errorf("%s/%v: revised status %v (err %v) vs dense %v (err %v)",
+					tc.name, f, rev.Status, revErr, den.Status, denErr)
+				continue
+			}
+			if revErr != nil {
+				continue
+			}
+			if d := math.Abs(rev.Objective - den.Objective); d > 1e-8 {
+				t.Errorf("%s/%v: revised %.12g vs dense %.12g (Δ=%g)", tc.name, f, rev.Objective, den.Objective, d)
+			}
+			if rev.FactorNNZ <= 0 {
+				t.Errorf("%s/%v: FactorNNZ = %d, want positive", tc.name, f, rev.FactorNNZ)
+			}
 		}
 	}
 }

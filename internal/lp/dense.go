@@ -16,20 +16,14 @@ import (
 
 // SolveDense solves the problem with the two-phase full-tableau simplex.
 // Semantics match Solve (same statuses, same error contract); only the
-// algorithm differs. New code should use Solve; this entry point exists for
-// parity testing and benchmarking against the revised simplex.
+// algorithm differs. This entry point exists for parity testing and
+// benchmarking against the revised simplex.
+//
+// Deprecated: use NewSolver(WithFactorization(FactorTableau)).Solve, which
+// routes to the same tableau implementation.
 func SolveDense(p *Problem) (*Solution, error) {
-	sol, _ := solveDenseOnce(p, false)
-	if sol.Status == Numerical {
-		// Retry with Bland's rule from the start and aggressive
-		// refactorization; slower but maximally stable.
-		sol, _ = solveDenseOnce(p, true)
-	}
-	if sol.Status != Optimal {
-		return sol, notOptimalErr(sol.Status)
-	}
-	finishSolution(p, sol)
-	return sol, nil
+	sol, _, err := NewSolver(WithFactorization(FactorTableau)).Solve(nil, p, nil)
+	return sol, err
 }
 
 func solveDenseOnce(p *Problem, conservative bool) (*Solution, *tableau) {

@@ -1,0 +1,168 @@
+package lp
+
+// Basis-kernel strategies for the revised simplex. The solver's inner loop
+// only ever needs four operations from its factorization — rebuild from the
+// basis columns, FTRAN, BTRAN, and absorb one column replacement — so the
+// kernel is a strategy interface with two implementations:
+//
+//   - denseFactorizer: the original dense m×m LU plus a product-form eta
+//     file. O(m³) refactorizations, O(m²) triangular solves, O(m) per eta;
+//     retained both as the small-problem default (below a few hundred rows
+//     the dense kernel's constant factors win) and as the reference leg of
+//     parity tests.
+//   - sparseFactorizer: mat.SparseLU — Markowitz-ordered sparse LU with
+//     threshold partial pivoting and Forrest–Tomlin updates. Everything is
+//     O(nnz), which is what lets k≈6 composite networks (m ≈ 10⁴) solve at
+//     all: a single dense refactorization at that size costs ~10¹² flops and
+//     ~800 MB, the sparse one a few million and a few MB.
+
+import (
+	"repro/internal/mat"
+)
+
+// Factorizer is the strategy interface for the simplex basis kernel: it
+// maintains a factorization of the m×m basis matrix B across pivots.
+// Implementations are stateful and single-solve; after Update returns an
+// error the factorization is invalid and the caller must Refactor before the
+// next Ftran/Btran.
+type Factorizer interface {
+	// Refactor rebuilds the factorization exactly from the standard-form
+	// columns selected by basis (basis[i] is the column in slot i). It
+	// returns a non-nil error when the basis matrix is singular.
+	Refactor(a *mat.CSC, basis []int) error
+	// Ftran solves B x = v. v is consumed; the result may alias it.
+	Ftran(v mat.Vector) mat.Vector
+	// Btran solves Bᵀ y = c. c is not modified.
+	Btran(c mat.Vector) mat.Vector
+	// Update absorbs the replacement of the basis column in slot row by the
+	// standard-form column with sparse entries (rows, vals); w = B⁻¹a is the
+	// column's FTRAN image in the pre-pivot basis (the entering direction
+	// the pivot loop already computed). w is retained.
+	Update(row int, w mat.Vector, rows []int, vals []float64) error
+	// Updates reports the column replacements absorbed since the last
+	// Refactor — the solver's refactorization cadence trigger.
+	Updates() int
+	// NNZ reports the stored nonzeros of the current factorization (m² for
+	// the dense kernel), the fill-in statistic surfaced in Solution.
+	NNZ() int
+}
+
+// eta is one product-form basis update: the basis column at row r was
+// replaced, and w = B⁻¹a_enter (in the pre-pivot basis) with pivot w[r].
+type eta struct {
+	r int
+	w mat.Vector
+}
+
+// denseFactorizer is the original kernel: a dense LU of the basis matrix
+// plus a product-form eta file recording the pivots since the last
+// refactorization.
+type denseFactorizer struct {
+	m    int
+	lu   *mat.LU
+	etas []eta
+}
+
+func newDenseFactorizer() *denseFactorizer { return &denseFactorizer{} }
+
+func (f *denseFactorizer) Refactor(a *mat.CSC, basis []int) error {
+	m := len(basis)
+	f.m = m
+	bm := mat.NewMatrix(m, m)
+	for i, bcol := range basis {
+		rows, vals := a.ColNZ(bcol)
+		for k, row := range rows {
+			bm.Set(row, i, vals[k])
+		}
+	}
+	lu, err := mat.Factor(bm)
+	if err != nil {
+		return err
+	}
+	f.lu = lu
+	f.etas = f.etas[:0]
+	return nil
+}
+
+func (f *denseFactorizer) Ftran(v mat.Vector) mat.Vector {
+	x := f.lu.Solve(v)
+	for e := range f.etas {
+		et := &f.etas[e]
+		piv := x[et.r] / et.w[et.r]
+		if piv != 0 {
+			for i, wi := range et.w {
+				x[i] -= piv * wi
+			}
+		}
+		x[et.r] = piv
+	}
+	return x
+}
+
+func (f *denseFactorizer) Btran(c mat.Vector) mat.Vector {
+	v := c.Clone()
+	for e := len(f.etas) - 1; e >= 0; e-- {
+		et := &f.etas[e]
+		s := 0.0
+		for i, wi := range et.w {
+			s += v[i] * wi
+		}
+		// s includes the r-th term; v_r' = (v_r − (s − v_r·w_r)) / w_r.
+		v[et.r] = (v[et.r] - (s - v[et.r]*et.w[et.r])) / et.w[et.r]
+	}
+	return f.lu.SolveT(v)
+}
+
+func (f *denseFactorizer) Update(row int, w mat.Vector, rows []int, vals []float64) error {
+	f.etas = append(f.etas, eta{r: row, w: w})
+	return nil
+}
+
+func (f *denseFactorizer) Updates() int { return len(f.etas) }
+
+func (f *denseFactorizer) NNZ() int { return f.m * f.m }
+
+// sparseFactorizer wraps mat.SparseLU: Markowitz-ordered sparse LU with
+// threshold partial pivoting, updated in place by Forrest–Tomlin column
+// replacements. tau is the pivot threshold (raised in conservative mode to
+// favor stability over sparsity).
+type sparseFactorizer struct {
+	tau float64
+	f   *mat.SparseLU
+}
+
+func newSparseFactorizer(conservative bool) *sparseFactorizer {
+	tau := 0.1
+	if conservative {
+		tau = 0.5
+	}
+	return &sparseFactorizer{tau: tau}
+}
+
+func (s *sparseFactorizer) Refactor(a *mat.CSC, basis []int) error {
+	f, err := mat.FactorColumns(len(basis), func(i int) ([]int, []float64) {
+		return a.ColNZ(basis[i])
+	}, s.tau)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}
+
+func (s *sparseFactorizer) Ftran(v mat.Vector) mat.Vector { return s.f.Solve(v) }
+
+func (s *sparseFactorizer) Btran(c mat.Vector) mat.Vector { return s.f.SolveT(c) }
+
+func (s *sparseFactorizer) Update(row int, w mat.Vector, rows []int, vals []float64) error {
+	return s.f.Update(row, rows, vals)
+}
+
+func (s *sparseFactorizer) Updates() int { return s.f.Updates() }
+
+func (s *sparseFactorizer) NNZ() int {
+	if s.f == nil {
+		return 0
+	}
+	return s.f.NNZ()
+}

@@ -178,10 +178,17 @@ const (
 	IterationLimit
 	Numerical
 	// Cancelled reports that the solve was abandoned because the caller's
-	// context was cancelled or its deadline expired (SolveWithBasisCtx);
-	// the pivot loops check the context once per iteration, so cancellation
-	// takes effect within a solve, not just between solves.
+	// context was cancelled or its deadline expired (Solver.Solve, or the
+	// deadline installed by WithWallClock); the pivot loops check the
+	// context once per iteration, so cancellation takes effect within a
+	// solve, not just between solves.
 	Cancelled
+	// BudgetExceeded reports that the solve consumed its pivot budget
+	// (WithMaxPivots) before reaching optimality. Like Cancelled it is a
+	// resource verdict, not a statement about the problem: callers with a
+	// freshness requirement (the online adapter) treat it as a failed
+	// refresh and keep their previous answer.
+	BudgetExceeded
 )
 
 // String returns a human-readable status.
@@ -199,6 +206,8 @@ func (s Status) String() string {
 		return "numerically unstable"
 	case Cancelled:
 		return "cancelled"
+	case BudgetExceeded:
+		return "pivot budget exceeded"
 	}
 	return "unknown"
 }
@@ -210,32 +219,49 @@ type Solution struct {
 	Objective  float64   // c'x in the problem's own sense
 	Activities []float64 // a_i'x per constraint
 	Iterations int
-	// Refactorizations counts full basis refactorizations (each an O(m³)
-	// dense LU of the basis matrix) performed by the revised simplex —
-	// together with Iterations, the work a solve actually did, which
-	// benchmarks report alongside wall time. Always zero for SolveDense,
-	// which carries a full tableau instead of a factorized basis.
+	// Refactorizations counts full basis refactorizations performed by the
+	// revised simplex (O(m³) under the dense factorization, O(nnz + fill)
+	// under the sparse one) — together with Iterations, the work a solve
+	// actually did, which benchmarks report alongside wall time. Always
+	// zero for the tableau strategy, which carries a full tableau instead
+	// of a factorized basis.
 	Refactorizations int
+	// FactorNNZ reports the stored nonzeros of the final basis
+	// factorization — m² under the dense strategy, nnz(L)+nnz(U)+etas under
+	// the sparse one — the fill-in statistic that, next to Iterations and
+	// Refactorizations, tells whether the Markowitz ordering is containing
+	// fill on a given problem family. Zero for the tableau strategy.
+	FactorNNZ int
 	// WarmStarted reports that the solve reused a caller-supplied Basis and
-	// skipped phase 1 (see SolveWithBasis).
+	// skipped phase 1 (see Solver.Solve).
 	WarmStarted bool
 }
 
 // ErrNotOptimal is wrapped by Solve when the problem has no optimal solution.
 var ErrNotOptimal = errors.New("lp: no optimal solution")
 
+// ErrBudgetExceeded is additionally wrapped (alongside ErrNotOptimal) when a
+// solve stopped because its WithMaxPivots budget ran out — a resource
+// verdict, not a statement about the problem, so callers can match it and
+// retry with a larger budget or keep a previous answer.
+var ErrBudgetExceeded = errors.New("pivot budget exceeded")
+
 const (
-	costTol  = 1e-9  // reduced-cost optimality tolerance
-	pivotTol = 1e-8  // smallest acceptable pivot magnitude
-	zeroTol  = 1e-11 // clamp for tiny negative basic values
+	costTol     = 1e-9  // reduced-cost optimality tolerance
+	pivotTol    = 1e-8  // smallest acceptable pivot magnitude (absolute)
+	pivotRelTol = 1e-7  // pivot floor relative to ‖w‖∞ of the FTRAN direction
+	zeroTol     = 1e-11 // clamp for tiny negative basic values
 )
 
 // Solve solves the problem with the two-phase revised simplex method.
 // The returned error is non-nil (wrapping ErrNotOptimal) exactly when the
 // status is not Optimal; callers that distinguish infeasible from unbounded
 // should inspect Solution.Status.
+//
+// Deprecated: use NewSolver().Solve(context.Background(), p, nil), which
+// also exposes factorization, pricing, and budget options.
 func Solve(p *Problem) (*Solution, error) {
-	sol, _, err := SolveWithBasis(p, nil)
+	sol, _, err := NewSolver().Solve(nil, p, nil)
 	return sol, err
 }
 

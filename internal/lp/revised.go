@@ -4,34 +4,35 @@ package lp
 // tableau, it keeps only
 //
 //   - the column-sparse standard-form matrix (immutable),
-//   - a dense LU factorization of the current m×m basis matrix
-//     (mat.Factor/mat.LU, the same kernel the Markov solvers use),
-//   - a short product-form eta file recording the pivots since the last
-//     refactorization, and
+//   - a Factorizer holding the current m×m basis factorization — dense LU
+//     plus product-form etas, or Markowitz sparse LU with Forrest–Tomlin
+//     updates (see factorizer.go),
+//   - a Pricer choosing entering columns — Dantzig, Devex, or partial
+//     pricing (see pricer.go), and
 //   - the current basic values.
 //
-// FTRAN (B⁻¹a, the entering direction) and BTRAN (B⁻ᵀc, the duals) run one
-// dense triangular solve pair plus O(m) per eta; pricing walks the sparse
-// columns in O(nnz(A)). The eta file is bounded by refactorEvery, after
-// which the basis is refactorized exactly from the original data — the same
-// periodic-refactorization hygiene the dense tableau used, which is what
-// keeps the stiff policy LPs (probabilities spanning four orders of
-// magnitude, discounts at 1−10⁻⁶) numerically honest.
+// FTRAN (B⁻¹a, the entering direction) and BTRAN (B⁻ᵀc, the duals) go
+// through the factorizer; pricing walks the sparse columns in O(nnz(A)).
+// The update file is bounded by refactorEvery, after which the basis is
+// refactorized exactly from the original data — the periodic-
+// refactorization hygiene that keeps the stiff policy LPs (probabilities
+// spanning four orders of magnitude, discounts at 1−10⁻⁶) numerically
+// honest. A factorizer may also demand an early refactorization by
+// returning an error from Update (a Forrest–Tomlin step gone unstable);
+// the loop rebuilds before the next FTRAN/BTRAN.
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"repro/internal/mat"
 )
 
-// eta is one product-form basis update: the basis column at row r was
-// replaced, and w = B⁻¹a_enter (in the pre-pivot basis) with pivot w[r].
-type eta struct {
-	r int
-	w mat.Vector
-}
+// lpDebug gates per-refactorization tracing to stderr (LPDEBUG=1).
+var lpDebug = os.Getenv("LPDEBUG") != ""
 
 // revised is the solver state for one solve.
 type revised struct {
@@ -41,35 +42,146 @@ type revised struct {
 	hasDeadline bool
 	basis       []int // column index per row
 	pos         []int // column -> basis row, or -1
-	lu          *mat.LU
-	etas        []eta
+	fact        Factorizer
+	pricer      Pricer
 	xB          mat.Vector
+	bWork       mat.Vector // rhs used for basic-value recomputation (perturbed during a cold solve)
+	perturbed   bool       // bWork currently carries the anti-degeneracy perturbation
 	d           mat.Vector // reduced costs of the active phase, maintained by pivoting
 	dScale      mat.Vector // per-column magnitude scale of d (see recomputeD)
+
+	// Row-major mirror of sf.a, built once per solve: rowCols[i]/rowVals[i]
+	// hold the column indices and values of constraint row i. The pivot row
+	// αᵀ = βᵀA is scattered over the nonzeros of β through this mirror in
+	// O(Σ_{β_i≠0} nnz(row i)) — on hyper-sparse bases (sparse LU BTRANs of a
+	// unit vector) that is a small fraction of the O(nnz(A)) a column-wise
+	// ColDot sweep pays, and it is never asymptotically worse.
+	rowCols [][]int32
+	rowVals [][]float64
+	alpha   mat.Vector // pivot-row workspace, valid for entries in touched
+	touched []int32    // columns written by the last pivotRow scatter
+	mark    []int32    // scatter stamps (mark[j] == stamp ⇒ alpha[j] live)
+	stamp   int32
 
 	iterations    int
 	refactors     int
 	refactorEvery int
+	maxPivots     int // 0 = unlimited; exceeding returns BudgetExceeded
+	needRefactor  bool
 	blandAlways   bool
+	conservative  bool
+	atScale       bool // m >= autoSparseMin: enable sparse-scale stabilization
 }
 
-func newRevised(ctx context.Context, sf *stdForm, conservative bool) *revised {
+func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverConfig) *revised {
 	r := &revised{
 		sf:            sf,
 		ctx:           ctx,
 		basis:         make([]int, sf.m),
 		pos:           make([]int, sf.nTot),
 		xB:            mat.NewVector(sf.m),
+		bWork:         sf.b,
 		refactorEvery: 50,
+		maxPivots:     cfg.maxPivots,
 	}
 	r.deadline, r.hasDeadline = ctx.Deadline()
+	r.atScale = sf.m >= autoSparseMin
 	copy(r.basis, sf.initBasis)
 	if conservative {
 		r.refactorEvery = 10
 		r.blandAlways = true
+		r.conservative = true
 	}
+
+	fac := cfg.factorization
+	if fac != FactorDense && fac != FactorSparse {
+		if sf.m >= autoSparseMin {
+			fac = FactorSparse
+		} else {
+			fac = FactorDense
+		}
+	}
+	if fac == FactorSparse {
+		r.fact = newSparseFactorizer(conservative)
+		// Forrest–Tomlin updates leave U genuinely triangular, so the
+		// update file degrades far more slowly than product-form etas; a
+		// longer interval amortizes the Markowitz refactorization, which
+		// dominates wall clock on 10⁴-row bases.
+		if !conservative {
+			r.refactorEvery = 120
+		}
+	} else {
+		r.fact = newDenseFactorizer()
+	}
+
+	pricing := cfg.pricing
+	if pricing == PriceAuto {
+		if sf.m >= autoSparseMin {
+			pricing = PriceDevex
+		} else {
+			pricing = PriceDantzig
+		}
+	}
+	switch pricing {
+	case PriceDevex:
+		r.pricer = newDevexPricer()
+	case PricePartial:
+		r.pricer = newPartialPricer()
+	default:
+		r.pricer = dantzigPricer{}
+	}
+
+	r.rowCols = make([][]int32, sf.m)
+	r.rowVals = make([][]float64, sf.m)
+	rowNNZ := make([]int, sf.m)
+	for j := 0; j < sf.nTot; j++ {
+		rows, _ := sf.a.ColNZ(j)
+		for _, i := range rows {
+			rowNNZ[i]++
+		}
+	}
+	for i, n := range rowNNZ {
+		r.rowCols[i] = make([]int32, 0, n)
+		r.rowVals[i] = make([]float64, 0, n)
+	}
+	for j := 0; j < sf.nTot; j++ {
+		rows, vals := sf.a.ColNZ(j)
+		for k, i := range rows {
+			r.rowCols[i] = append(r.rowCols[i], int32(j))
+			r.rowVals[i] = append(r.rowVals[i], vals[k])
+		}
+	}
+	r.alpha = mat.NewVector(sf.nTot)
+	r.mark = make([]int32, sf.nTot)
+	r.touched = make([]int32, 0, sf.nTot)
+
 	r.rebuildPos()
 	return r
+}
+
+// pivotRow computes αᵀ = βᵀA by scattering each nonzero of β through the
+// row-major mirror. The results live in r.alpha at the indices returned (in
+// no particular order) until the next call; entries that cancelled to zero
+// may be included.
+func (r *revised) pivotRow(beta mat.Vector) []int32 {
+	r.stamp++
+	r.touched = r.touched[:0]
+	for i, bv := range beta {
+		if bv == 0 {
+			continue
+		}
+		cols := r.rowCols[i]
+		vals := r.rowVals[i]
+		for k, j := range cols {
+			if r.mark[j] != r.stamp {
+				r.mark[j] = r.stamp
+				r.alpha[j] = 0
+				r.touched = append(r.touched, j)
+			}
+			r.alpha[j] += bv * vals[k]
+		}
+	}
+	return r.touched
 }
 
 func (r *revised) rebuildPos() {
@@ -81,26 +193,23 @@ func (r *revised) rebuildPos() {
 	}
 }
 
-// refactor rebuilds the dense LU of the basis matrix from the sparse
-// columns, clears the eta file, and recomputes exact basic values. It
-// returns false when the basis matrix is singular.
+// refactor rebuilds the basis factorization from the sparse columns and
+// recomputes exact basic values. It returns false when the basis matrix is
+// singular.
 func (r *revised) refactor() bool {
 	r.refactors++
-	m := r.sf.m
-	bm := mat.NewMatrix(m, m)
-	for i, bcol := range r.basis {
-		rows, vals := r.sf.a.ColNZ(bcol)
-		for k, row := range rows {
-			bm.Set(row, i, vals[k])
+	t0 := time.Now()
+	if err := r.fact.Refactor(r.sf.a, r.basis); err != nil {
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lpdebug: refactor %d iter %d FAILED: %v\n", r.refactors, r.iterations, err)
 		}
-	}
-	f, err := mat.Factor(bm)
-	if err != nil {
 		return false
 	}
-	r.lu = f
-	r.etas = r.etas[:0]
-	xb := f.Solve(r.sf.b)
+	if lpDebug {
+		fmt.Fprintf(os.Stderr, "lpdebug: refactor %d iter %d nnz %d took %v\n", r.refactors, r.iterations, r.fact.NNZ(), time.Since(t0))
+	}
+	r.needRefactor = false
+	xb := r.fact.Ftran(r.bWork.Clone())
 	for i, v := range xb {
 		if v < 0 && v > -1e-7 {
 			xb[i] = 0
@@ -110,21 +219,9 @@ func (r *revised) refactor() bool {
 	return true
 }
 
-// ftran solves B x = v through the factorization and the eta file. v is
-// consumed (the result reuses its storage only via the LU solve's output).
+// ftran solves B x = v through the factorization. v is consumed.
 func (r *revised) ftran(v mat.Vector) mat.Vector {
-	x := r.lu.Solve(v)
-	for e := range r.etas {
-		et := &r.etas[e]
-		piv := x[et.r] / et.w[et.r]
-		if piv != 0 {
-			for i, wi := range et.w {
-				x[i] -= piv * wi
-			}
-		}
-		x[et.r] = piv
-	}
-	return x
+	return r.fact.Ftran(v)
 }
 
 // ftranCol returns B⁻¹ a_j for standard-form column j.
@@ -137,20 +234,9 @@ func (r *revised) ftranCol(j int) mat.Vector {
 	return r.ftran(v)
 }
 
-// btran solves Bᵀ y = c through the eta file (in reverse) and the
-// factorization. c is not modified.
+// btran solves Bᵀ y = c through the factorization. c is not modified.
 func (r *revised) btran(c mat.Vector) mat.Vector {
-	v := c.Clone()
-	for e := len(r.etas) - 1; e >= 0; e-- {
-		et := &r.etas[e]
-		s := 0.0
-		for i, wi := range et.w {
-			s += v[i] * wi
-		}
-		// s includes the r-th term; v_r' = (v_r − (s − v_r·w_r)) / w_r.
-		v[et.r] = (v[et.r] - (s - v[et.r]*et.w[et.r])) / et.w[et.r]
-	}
-	return r.lu.SolveT(v)
+	return r.fact.Btran(c)
 }
 
 // duals returns y with Bᵀ y = c_B for the given cost vector.
@@ -212,44 +298,36 @@ func (r *revised) recomputeD(cost mat.Vector) {
 // updateD applies the tableau objective-row update after a pivot at (row,
 // col) with pivot element piv = α_col: d ← d − (d_col/piv)·α, where
 // α_j = βᵀa_j is the pivot row and β = B⁻ᵀe_row in the pre-pivot basis.
-// The entering column lands exactly at zero.
-func (r *revised) updateD(beta mat.Vector, col int, piv float64) {
+// The entering column lands exactly at zero. The same pass streams the
+// pivot row into the pricer (Devex weight maintenance rides along at O(1)
+// per touched column); weight-based pricers force the pass even on
+// degenerate pivots where d itself is unchanged.
+func (r *revised) updateD(beta mat.Vector, row, col int, piv float64) {
+	r.pricer.BeginPivot(col, r.basis[row], piv)
 	factor := r.d[col] / piv
-	if factor != 0 {
-		for j := 0; j < r.sf.nTot; j++ {
-			if a := r.sf.a.ColDot(j, beta); a != 0 {
-				r.d[j] -= factor * a
+	if factor != 0 || r.pricer.NeedsPivotRow() {
+		for _, j := range r.pivotRow(beta) {
+			if a := r.alpha[j]; a != 0 {
+				if factor != 0 {
+					r.d[j] -= factor * a
+				}
+				r.pricer.ObserveAlpha(int(j), a)
 			}
 		}
 	}
 	r.d[col] = 0
 }
 
-// price picks the entering column among [0, maxCol) by the maintained
-// reduced costs: most negative under Dantzig, first negative under Bland.
-// A column counts as improving only when its reduced cost clears the
-// scale-relative tolerance −costTol·dScale (see recomputeD). Returns -1 at
-// optimality.
+// price picks the entering column among [0, maxCol) from the maintained
+// reduced costs: by the configured pricing strategy normally, or first
+// eligible under Bland's rule. A column counts as improving only when its
+// reduced cost clears the scale-relative tolerance −costTol·dScale (see
+// recomputeD). Returns -1 at optimality.
 func (r *revised) price(maxCol int, bland bool) int {
 	if bland {
-		for j := 0; j < maxCol; j++ {
-			if r.pos[j] < 0 && r.d[j] < -costTol*r.dScale[j] {
-				return j
-			}
-		}
-		return -1
+		return blandChoose(r.d, r.dScale, r.pos, maxCol)
 	}
-	best, bestVal := -1, 0.0
-	for j := 0; j < maxCol; j++ {
-		if r.pos[j] >= 0 {
-			continue
-		}
-		if d := r.d[j]; d < -costTol*r.dScale[j] && d < bestVal {
-			bestVal = d
-			best = j
-		}
-	}
-	return best
+	return r.pricer.Choose(r.d, r.dScale, r.pos, maxCol)
 }
 
 // ratioTest picks the leaving row for entering direction w. Ratio
@@ -258,11 +336,42 @@ func (r *revised) price(maxCol int, bland bool) int {
 // basis index wins to guarantee termination. Returns -1 when the column is
 // unbounded.
 func (r *revised) ratioTest(w mat.Vector, bland bool) int {
+	// An entry of w that is tiny relative to ‖w‖∞ is indistinguishable from
+	// FTRAN roundoff once the basis grows ill-conditioned; pivoting on one
+	// steers the basis toward exact singularity. At sparse scale pivots must
+	// first clear a scale-relative floor; the absolute tolerance alone is
+	// retried only when no entry does (a uniformly small but genuine
+	// direction). Small problems keep the seed's absolute test so their
+	// degenerate tie-breaking — and hence vertex selection — is unchanged.
+	minPiv := pivotTol
+	if r.atScale {
+		wmax := 0.0
+		for _, a := range w {
+			if a > wmax {
+				wmax = a
+			} else if -a > wmax {
+				wmax = -a
+			}
+		}
+		if rel := pivotRelTol * wmax; rel > minPiv {
+			minPiv = rel
+		}
+	}
+	if row := r.ratioTestTol(w, bland, minPiv); row >= 0 {
+		return row
+	}
+	if minPiv > pivotTol {
+		return r.ratioTestTol(w, bland, pivotTol)
+	}
+	return -1
+}
+
+func (r *revised) ratioTestTol(w mat.Vector, bland bool, minPiv float64) int {
 	bestRow := -1
 	bestRatio := math.Inf(1)
 	bestPivot := 0.0
 	for i, a := range w {
-		if a <= pivotTol {
+		if a <= minPiv {
 			continue
 		}
 		rhs := r.xB[i]
@@ -294,8 +403,11 @@ func (r *revised) ratioTest(w mat.Vector, bland bool) int {
 }
 
 // pivotUpdate applies the basis change (row, col) with direction w = B⁻¹a_col,
-// updating basic values and appending an eta. w is retained; callers must
-// not reuse it.
+// updating basic values and handing the column replacement to the
+// factorizer. w is retained; callers must not reuse it. If the factorizer
+// cannot absorb the update, the factorization is flagged for an immediate
+// rebuild (the basis bookkeeping is already correct — only FTRAN/BTRAN must
+// wait for the refactorization).
 func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
 	theta := r.xB[row] / w[row]
 	for i := range r.xB {
@@ -308,17 +420,24 @@ func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
 	r.pos[r.basis[row]] = -1
 	r.basis[row] = col
 	r.pos[col] = row
-	r.etas = append(r.etas, eta{r: row, w: w})
+	rows, vals := r.sf.a.ColNZ(col)
+	if err := r.fact.Update(row, w, rows, vals); err != nil {
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lpdebug: update unstable iter %d pivot %g theta %g\n", r.iterations, w[row], theta)
+		}
+		r.needRefactor = true
+	}
 	r.iterations++
 }
 
 // cancelled reports whether the solve's context has been cancelled or its
-// deadline has passed. A pivot costs O(nnz(A) + m²), so the per-iteration
-// check is noise by comparison and gives cancellation a one-pivot response
-// time. The deadline is compared directly rather than through Err alone:
-// a deadline context is cancelled by a runtime timer goroutine, and on a
-// busy single-CPU box that goroutine may not be scheduled while the pivot
-// loop runs — polling the clock makes expiry observable regardless.
+// deadline has passed. A pivot costs at least O(nnz(A)), so the
+// per-iteration check is noise by comparison and gives cancellation a
+// one-pivot response time. The deadline is compared directly rather than
+// through Err alone: a deadline context is cancelled by a runtime timer
+// goroutine, and on a busy single-CPU box that goroutine may not be
+// scheduled while the pivot loop runs — polling the clock makes expiry
+// observable regardless.
 func (r *revised) cancelled() bool {
 	if r.ctx.Err() != nil {
 		return true
@@ -326,20 +445,32 @@ func (r *revised) cancelled() bool {
 	return r.hasDeadline && time.Now().After(r.deadline)
 }
 
-// runPhase iterates to optimality, unboundedness, or the iteration cap,
-// refactorizing whenever the eta file reaches refactorEvery.
+// budgetExceeded reports whether the configured pivot budget (WithMaxPivots)
+// has been consumed. The budget counts pivots across all phases of one
+// solve attempt.
+func (r *revised) budgetExceeded() bool {
+	return r.maxPivots > 0 && r.iterations >= r.maxPivots
+}
+
+// runPhase iterates to optimality, unboundedness, or a stopping condition
+// (iteration cap, pivot budget, cancellation), refactorizing whenever the
+// update file reaches refactorEvery or the factorizer demands it.
 func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 	stallAfter := 200 + 20*(r.sf.m+r.sf.nTot)
 	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
 	r.recomputeD(cost)
+	r.pricer.Reset(r.sf.nTot)
 	for iter := 0; ; iter++ {
 		if iter > limit {
 			return IterationLimit
 		}
+		if r.budgetExceeded() {
+			return BudgetExceeded
+		}
 		if r.cancelled() {
 			return Cancelled
 		}
-		if len(r.etas) >= r.refactorEvery {
+		if r.needRefactor || r.fact.Updates() >= r.refactorEvery {
 			if !r.refactor() {
 				return Numerical
 			}
@@ -358,7 +489,7 @@ func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 		ei := mat.NewVector(r.sf.m)
 		ei[row] = 1
 		beta := r.btran(ei) // pivot row in the pre-pivot basis
-		r.updateD(beta, col, w[row])
+		r.updateD(beta, row, col, w[row])
 		r.pivotUpdate(row, col, w)
 	}
 }
@@ -370,6 +501,9 @@ func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 func (r *revised) driveOutArtificials() {
 	real := r.sf.nv + r.sf.ns
 	for i := 0; i < r.sf.m; i++ {
+		if r.needRefactor && !r.refactor() {
+			return // phase 2 refactorizes again and reports Numerical
+		}
 		if r.basis[i] < real {
 			continue
 		}
@@ -392,43 +526,103 @@ func (r *revised) driveOutArtificials() {
 	}
 }
 
+// perturb replaces the working rhs with a deterministically jittered copy:
+// b̃_i = b_i + ε·(1+|b_i|)·u_i with u_i ∈ [0.5, 1.5). Policy LPs are massively
+// primal degenerate — b is zero on almost every row, so most vertices have
+// basic values pinned at zero and the ratio test ties everywhere. The simplex
+// then wanders the optimal face in zero-length steps for tens of thousands of
+// iterations, and on stiff instances (α = 1−10⁻⁵) the wandering assembles
+// ever worse-conditioned bases until refactorization finds them singular.
+// The jitter makes the perturbed problem nondegenerate (ties break, steps
+// have positive length), and phase 2 restores the exact rhs once optimal,
+// repairing the small primal infeasibility with the existing dual-simplex
+// loop.
+func (r *revised) perturb() {
+	const eps = 1e-9
+	pb := r.sf.b.Clone()
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range pb {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		u := 0.5 + float64(seed>>11)/float64(1<<53)
+		pb[i] += eps * (1 + math.Abs(pb[i])) * u
+	}
+	r.bWork = pb
+	r.perturbed = true
+}
+
+// restoreB undoes perturb: subsequent refactorizations recompute basic
+// values from the exact rhs.
+func (r *revised) restoreB() {
+	r.bWork = r.sf.b
+	r.perturbed = false
+}
+
 // solve runs both phases and extracts the solution. Every exit records the
 // work counters, so even aborted solves (cancelled, iteration-limited,
-// numerical) report the pivots and refactorizations they actually paid.
+// numerical, budget-exhausted) report the pivots and refactorizations they
+// actually paid.
 func (r *revised) solve() (sol *Solution) {
 	sol = &Solution{}
 	defer func() {
 		sol.Iterations = r.iterations
 		sol.Refactorizations = r.refactors
+		sol.FactorNNZ = r.fact.NNZ()
 	}()
+	if !r.conservative && r.atScale {
+		// Perturbation is an anti-degeneracy device for sparse-scale bases,
+		// where zero-length pivots can wander for tens of thousands of
+		// iterations; small problems keep the exact rhs so cold and warm
+		// solves land on identical vertices (the sweep determinism
+		// contract). The conservative retry also stays on the exact rhs: if
+		// the perturbed path failed numerically, the retry must not inherit
+		// its strategy.
+		r.perturb()
+	}
 	if !r.refactor() {
 		sol.Status = Numerical
 		return sol
 	}
 	if r.sf.na > 0 {
-		st := r.runPhase(r.sf.cost1, r.sf.nTot)
-		if st != Optimal {
-			// Phase 1 is never unbounded in exact arithmetic; treat it as
-			// numerical trouble.
-			sol.Status = Numerical
-			if st == IterationLimit || st == Cancelled {
-				sol.Status = st
+		for {
+			st := r.runPhase(r.sf.cost1, r.sf.nTot)
+			if lpDebug {
+				fmt.Fprintf(os.Stderr, "lpdebug: phase1 status %v at iter %d (perturbed %v)\n", st, r.iterations, r.perturbed)
 			}
-			return sol
-		}
-		if !r.refactor() { // exact phase-1 values
-			sol.Status = Numerical
-			return sol
-		}
-		phase1 := 0.0
-		for i, b := range r.basis {
-			if b >= r.sf.nv+r.sf.ns {
-				phase1 += r.xB[i]
+			if st != Optimal {
+				// Phase 1 is never unbounded in exact arithmetic; treat it as
+				// numerical trouble.
+				sol.Status = Numerical
+				if st == IterationLimit || st == Cancelled || st == BudgetExceeded {
+					sol.Status = st
+				}
+				return sol
 			}
-		}
-		if phase1 > 1e-7*(1+r.sf.b.Sum()) {
-			sol.Status = Infeasible
-			return sol
+			if !r.refactor() { // exact phase-1 values
+				sol.Status = Numerical
+				return sol
+			}
+			phase1 := 0.0
+			for i, b := range r.basis {
+				if b >= r.sf.nv+r.sf.ns {
+					phase1 += r.xB[i]
+				}
+			}
+			if phase1 <= 1e-7*(1+r.sf.b.Sum()) {
+				break
+			}
+			if !r.perturbed {
+				sol.Status = Infeasible
+				return sol
+			}
+			// The perturbed problem may be infeasible even though the true one
+			// is (an equality row can reject the jitter). Restore the exact
+			// rhs and re-run phase 1 from the current basis before concluding
+			// anything about the problem itself.
+			r.restoreB()
+			if !r.refactor() {
+				sol.Status = Numerical
+				return sol
+			}
 		}
 		r.driveOutArtificials()
 	}
@@ -450,17 +644,29 @@ func (r *revised) solve() (sol *Solution) {
 func (r *revised) phase2() *Solution {
 	sol := &Solution{}
 	sol.Status = Numerical
-	for attempt := 0; attempt < 4; attempt++ {
+	for attempt := 0; attempt < 6; attempt++ {
 		if !r.refactor() {
 			break
 		}
 		st := r.runPhase(r.sf.cost2, r.sf.nv+r.sf.ns)
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lpdebug: phase2 attempt %d status %v at iter %d (perturbed %v)\n", attempt, st, r.iterations, r.perturbed)
+		}
 		if st != Optimal {
 			sol.Status = st
 			break
 		}
 		if !r.refactor() { // final exact recomputation from the basis
 			break
+		}
+		if r.perturbed {
+			// Optimal for the jittered rhs (see perturb). Swap the exact rhs
+			// back in and go around again: the reduced costs are unchanged (d
+			// does not depend on b), so the re-run terminates immediately and
+			// any primal infeasibility the swap exposes lands in the
+			// dual-simplex repair below.
+			r.restoreB()
+			continue
 		}
 		worst := 0.0
 		for _, v := range r.xB {
@@ -484,11 +690,17 @@ func (r *revised) phase2() *Solution {
 			break
 		}
 		if !r.dualFeasible() || !r.dualSimplex() {
+			if r.budgetExceeded() {
+				sol.Status = BudgetExceeded
+			} else if r.cancelled() {
+				sol.Status = Cancelled
+			}
 			break
 		}
 	}
 	sol.Iterations = r.iterations
 	sol.Refactorizations = r.refactors
+	sol.FactorNNZ = r.fact.NNZ()
 	return sol
 }
 
@@ -521,17 +733,19 @@ func (r *revised) dualFeasible() bool {
 // (computed as βᵀa_j with β = B⁻ᵀe_row; ties broken toward the largest
 // pivot magnitude for stability). It returns false when no entering column
 // exists (the new problem is primal infeasible from this basis), the pivot
-// limit is hit, or the basis goes numerically bad; callers then fall back
-// to a cold solve rather than trusting a half-converged state.
+// limit, pivot budget, or cancellation stops it, or the basis goes
+// numerically bad; callers then fall back to a cold solve rather than
+// trusting a half-converged state (budget and cancellation are surfaced by
+// re-checking budgetExceeded/cancelled).
 func (r *revised) dualSimplex() bool {
 	real := r.sf.nv + r.sf.ns
 	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
 	r.recomputeD(r.sf.cost2)
 	for iter := 0; ; iter++ {
-		if iter > limit || r.cancelled() {
+		if iter > limit || r.cancelled() || r.budgetExceeded() {
 			return false
 		}
-		if len(r.etas) >= r.refactorEvery {
+		if r.needRefactor || r.fact.Updates() >= r.refactorEvery {
 			if !r.refactor() {
 				return false
 			}
@@ -549,13 +763,27 @@ func (r *revised) dualSimplex() bool {
 		ei := mat.NewVector(r.sf.m)
 		ei[row] = 1
 		beta := r.btran(ei)
+		cand := r.pivotRow(beta)
+		minPiv := pivotTol
+		if r.atScale {
+			amax := 0.0
+			for _, j32 := range cand {
+				if a := math.Abs(r.alpha[j32]); a > amax {
+					amax = a
+				}
+			}
+			if rel := pivotRelTol * amax; rel > minPiv {
+				minPiv = rel
+			}
+		}
 		col, bestRatio, bestMag := -1, math.Inf(1), 0.0
-		for j := 0; j < real; j++ {
-			if r.pos[j] >= 0 {
+		for _, j32 := range cand {
+			j := int(j32)
+			if j >= real || r.pos[j] >= 0 {
 				continue
 			}
-			a := r.sf.a.ColDot(j, beta)
-			if a >= -pivotTol {
+			a := r.alpha[j]
+			if a >= -minPiv {
 				continue
 			}
 			rc := r.d[j]
@@ -581,18 +809,19 @@ func (r *revised) dualSimplex() bool {
 		if math.Abs(w[row]) <= pivotTol {
 			return false // direction disagrees with the priced row: bail out
 		}
-		r.updateD(beta, col, w[row])
+		r.updateD(beta, row, col, w[row])
 		r.pivotUpdate(row, col, w)
 	}
 }
 
-// solveRevised runs one cold revised-simplex solve.
-func solveRevised(ctx context.Context, p *Problem, conservative bool) (*Solution, *revised) {
+// solveRevised runs one cold revised-simplex solve under the given solver
+// configuration.
+func solveRevised(ctx context.Context, p *Problem, conservative bool, cfg solverConfig) (*Solution, *revised) {
 	sf, preStatus := newStdForm(p)
 	if preStatus != Optimal {
 		return &Solution{Status: preStatus}, nil
 	}
-	r := newRevised(ctx, sf, conservative)
+	r := newRevised(ctx, sf, conservative, cfg)
 	sol := r.solve()
 	if sol.Status != Optimal {
 		return sol, nil

@@ -1,0 +1,238 @@
+package lp
+
+// Solver: the package's unified entry point. The historical entrypoint
+// sprawl — Solve, SolveWithBasis, SolveWithBasisCtx, SolveDense — collapsed
+// into one configurable object: construct a Solver with functional options
+// selecting the basis factorization, the pricing rule, a pivot budget, and a
+// wall-clock budget, then call Solve with a context and an optional warm
+// basis. The old entry points survive as thin deprecated wrappers.
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Factorization selects the basis-kernel strategy of a Solver.
+type Factorization int
+
+// Basis factorization strategies.
+const (
+	// FactorAuto picks sparse LU for large bases (m ≥ 256) and dense LU
+	// below, where the dense kernel's constant factors win.
+	FactorAuto Factorization = iota
+	// FactorDense is the dense m×m LU with a product-form eta file — the
+	// original kernel, retained for small problems and parity testing.
+	FactorDense
+	// FactorSparse is the Markowitz-ordered sparse LU with Forrest–Tomlin
+	// updates (mat.SparseLU); everything is O(nnz).
+	FactorSparse
+	// FactorTableau routes to the legacy full-tableau dense simplex — a
+	// reference implementation for parity tests and "before" benchmark legs.
+	// It ignores warm bases, contexts, and pivot budgets, and returns no
+	// reusable basis.
+	FactorTableau
+)
+
+// String names the strategy as accepted by ParseFactorization.
+func (f Factorization) String() string {
+	switch f {
+	case FactorAuto:
+		return "auto"
+	case FactorDense:
+		return "dense"
+	case FactorSparse:
+		return "sparse"
+	case FactorTableau:
+		return "tableau"
+	}
+	return "unknown"
+}
+
+// ParseFactorization maps a configuration string ("", "auto", "dense",
+// "sparse", "tableau") to a Factorization; the empty string is FactorAuto.
+func ParseFactorization(s string) (Factorization, error) {
+	switch s {
+	case "", "auto":
+		return FactorAuto, nil
+	case "dense":
+		return FactorDense, nil
+	case "sparse":
+		return FactorSparse, nil
+	case "tableau":
+		return FactorTableau, nil
+	}
+	return FactorAuto, fmt.Errorf("lp: unknown factorization %q", s)
+}
+
+// Pricing selects the entering-column rule of a Solver.
+type Pricing int
+
+// Pricing rules.
+const (
+	// PriceAuto picks Devex for large problems (m ≥ 256) and Dantzig below.
+	PriceAuto Pricing = iota
+	// PriceDantzig enters the most negative reduced cost — the classic rule
+	// and the pre-Solver behavior.
+	PriceDantzig
+	// PriceDevex ranks columns by d²/γ with Devex reference weights — an
+	// approximate steepest edge that cuts pivot counts on stiff instances.
+	PriceDevex
+	// PricePartial runs Dantzig over a rotating column window, cutting the
+	// pricing scan on very wide problems.
+	PricePartial
+)
+
+// String names the rule as accepted by ParsePricing.
+func (p Pricing) String() string {
+	switch p {
+	case PriceAuto:
+		return "auto"
+	case PriceDantzig:
+		return "dantzig"
+	case PriceDevex:
+		return "devex"
+	case PricePartial:
+		return "partial"
+	}
+	return "unknown"
+}
+
+// ParsePricing maps a configuration string ("", "auto", "dantzig", "devex",
+// "partial") to a Pricing; the empty string is PriceAuto.
+func ParsePricing(s string) (Pricing, error) {
+	switch s {
+	case "", "auto":
+		return PriceAuto, nil
+	case "dantzig":
+		return PriceDantzig, nil
+	case "devex":
+		return PriceDevex, nil
+	case "partial":
+		return PricePartial, nil
+	}
+	return PriceAuto, fmt.Errorf("lp: unknown pricing %q", s)
+}
+
+// autoSparseMin is the basis size at which FactorAuto switches to the sparse
+// kernel and PriceAuto to Devex: below it the dense LU's contiguous inner
+// loops beat pointer-chasing sparse structures, above it asymptotics take
+// over (and above a few thousand rows the dense kernel stops being
+// allocatable at all).
+const autoSparseMin = 256
+
+// solverConfig is the resolved option set of one Solver.
+type solverConfig struct {
+	factorization Factorization
+	pricing       Pricing
+	maxPivots     int
+	wallClock     time.Duration
+}
+
+// Option configures a Solver (functional-options pattern).
+type Option func(*solverConfig)
+
+// WithFactorization selects the basis factorization strategy.
+func WithFactorization(f Factorization) Option {
+	return func(c *solverConfig) { c.factorization = f }
+}
+
+// WithPricing selects the pricing rule.
+func WithPricing(p Pricing) Option {
+	return func(c *solverConfig) { c.pricing = p }
+}
+
+// WithMaxPivots bounds the total simplex pivots of one Solve call (per solve
+// attempt: a conservative numerical retry gets a fresh budget, warm-start
+// restoration shares the warm attempt's). n <= 0 means unlimited. A solve
+// stopped by the budget returns Status BudgetExceeded — callers with a
+// freshness deadline (the online adapter) treat it like a cancelled refresh
+// and keep the previous policy.
+func WithMaxPivots(n int) Option {
+	return func(c *solverConfig) { c.maxPivots = n }
+}
+
+// WithWallClock bounds the wall-clock time of one Solve call by deriving a
+// deadline context; expiry surfaces as Status Cancelled with an error
+// unwrapping to context.DeadlineExceeded, indistinguishable from a caller
+// deadline (it is one).
+func WithWallClock(d time.Duration) Option {
+	return func(c *solverConfig) { c.wallClock = d }
+}
+
+// Solver is a configured LP solver. The zero value (and NewSolver with no
+// options) is the auto-tuned default: factorization and pricing chosen by
+// problem size, no pivot budget, no wall clock. A Solver is immutable and
+// safe for concurrent use; all solve state lives per call.
+type Solver struct {
+	cfg solverConfig
+}
+
+// NewSolver returns a Solver configured by the given options.
+func NewSolver(opts ...Option) *Solver {
+	s := &Solver{}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	return s
+}
+
+// Solve solves the problem, optionally warm-starting from the basis of a
+// previous structurally identical solve (nil warm = cold solve). On Optimal
+// it returns the solution and the optimal basis for chaining into the next
+// solve; otherwise the basis is nil and the error wraps ErrNotOptimal (or
+// the context cause when cancelled). The pivot loops check ctx once per
+// iteration, so cancellation takes effect within one pivot. A nil ctx is
+// context.Background().
+func (s *Solver) Solve(ctx context.Context, p *Problem, warm *Basis) (*Solution, *Basis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := s.cfg
+	if cfg.wallClock > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.wallClock)
+		defer cancel()
+	}
+
+	if cfg.factorization == FactorTableau {
+		sol, _ := solveDenseOnce(p, false)
+		if sol.Status == Numerical {
+			sol, _ = solveDenseOnce(p, true)
+		}
+		if sol.Status != Optimal {
+			return sol, nil, notOptimalErr(sol.Status)
+		}
+		finishSolution(p, sol)
+		return sol, nil, nil
+	}
+
+	var sol *Solution
+	var r *revised
+	if warm != nil {
+		sol, r = solveWarm(ctx, p, warm, cfg)
+	}
+	if sol == nil {
+		sol, r = solveRevised(ctx, p, false, cfg)
+		if sol.Status == Numerical {
+			// Retry with Bland's rule from the start and aggressive
+			// refactorization; slower but maximally stable.
+			sol, r = solveRevised(ctx, p, true, cfg)
+		}
+	}
+	if sol.Status == Cancelled {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			// The deadline was observed directly before the context's timer
+			// goroutine ran (see revised.cancelled).
+			cause = context.DeadlineExceeded
+		}
+		return sol, nil, fmt.Errorf("lp: solve cancelled: %w", cause)
+	}
+	if sol.Status != Optimal {
+		return sol, nil, notOptimalErr(sol.Status)
+	}
+	// Activities and objective are recomputed from the original data.
+	finishSolution(p, sol)
+	return sol, r.exportBasis(), nil
+}

@@ -60,8 +60,12 @@ func (b *Basis) compatible(sf *stdForm) bool {
 	return true
 }
 
-// notOptimalErr wraps a non-optimal status in the package error contract.
+// notOptimalErr wraps a non-optimal status in the package error contract;
+// a budget stop additionally matches ErrBudgetExceeded.
 func notOptimalErr(s Status) error {
+	if s == BudgetExceeded {
+		return fmt.Errorf("lp: %w: %w", ErrBudgetExceeded, ErrNotOptimal)
+	}
 	return fmt.Errorf("lp: %v: %w", s, ErrNotOptimal)
 }
 
@@ -69,8 +73,11 @@ func notOptimalErr(s Status) error {
 // from the basis of a previous structurally identical solve. On an Optimal
 // status it also returns the optimal basis for chaining into the next solve;
 // otherwise the returned basis is nil. A nil warm basis is a cold solve.
+//
+// Deprecated: use NewSolver().Solve(context.Background(), p, warm), which
+// also exposes factorization, pricing, and budget options.
 func SolveWithBasis(p *Problem, warm *Basis) (*Solution, *Basis, error) {
-	return SolveWithBasisCtx(context.Background(), p, warm)
+	return NewSolver().Solve(context.Background(), p, warm)
 }
 
 // SolveWithBasisCtx is SolveWithBasis under a context: the pivot loops check
@@ -78,44 +85,21 @@ func SolveWithBasis(p *Problem, warm *Basis) (*Solution, *Basis, error) {
 // aborts the solve within one pivot. A cancelled solve returns a Solution
 // with Status Cancelled and an error satisfying errors.Is against
 // context.Canceled or context.DeadlineExceeded (via context.Cause).
+//
+// Deprecated: use NewSolver().Solve(ctx, p, warm), which also exposes
+// factorization, pricing, and budget options.
 func SolveWithBasisCtx(ctx context.Context, p *Problem, warm *Basis) (*Solution, *Basis, error) {
-	var sol *Solution
-	var r *revised
-	if warm != nil {
-		sol, r = solveWarm(ctx, p, warm)
-	}
-	if sol == nil {
-		sol, r = solveRevised(ctx, p, false)
-		if sol.Status == Numerical {
-			// Retry with Bland's rule from the start and aggressive
-			// refactorization; slower but maximally stable.
-			sol, r = solveRevised(ctx, p, true)
-		}
-	}
-	if sol.Status == Cancelled {
-		cause := context.Cause(ctx)
-		if cause == nil {
-			// The deadline was observed directly before the context's timer
-			// goroutine ran (see revised.cancelled).
-			cause = context.DeadlineExceeded
-		}
-		return sol, nil, fmt.Errorf("lp: solve cancelled: %w", cause)
-	}
-	if sol.Status != Optimal {
-		return sol, nil, notOptimalErr(sol.Status)
-	}
-	// Activities and objective are recomputed from the original data.
-	finishSolution(p, sol)
-	return sol, r.exportBasis(), nil
+	return NewSolver().Solve(ctx, p, warm)
 }
 
 // solveWarm attempts a warm-started solve. It returns (nil, nil) whenever
 // the basis cannot be reused, signalling the caller to fall back to a cold
 // solve; a non-nil Solution is definitive (the presolve-infeasible case, a
-// completed and verified phase-2 run, or a cancelled solve — falling back to
-// a cold solve after cancellation would only discover the same dead context
-// again).
-func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revised) {
+// completed and verified phase-2 run, or a cancelled or budget-stopped
+// solve — falling back to a cold solve after cancellation would only
+// discover the same dead context again, and after budget exhaustion would
+// silently double the budget).
+func solveWarm(ctx context.Context, p *Problem, warm *Basis, cfg solverConfig) (*Solution, *revised) {
 	sf, preStatus := newStdForm(p)
 	if preStatus != Optimal {
 		// Trivial presolve verdicts don't depend on the starting basis.
@@ -124,7 +108,7 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revise
 	if !warm.compatible(sf) {
 		return nil, nil
 	}
-	r := newRevised(ctx, sf, false)
+	r := newRevised(ctx, sf, false, cfg)
 	copy(r.basis, warm.cols)
 	r.rebuildPos()
 	if !r.refactor() {
@@ -149,6 +133,9 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revise
 		// now dual-feasible optimum — still converges from the stale basis,
 		// and any failure there falls back to a cold solve below.
 		if r.dualFeasible() && !r.dualSimplex() {
+			if r.budgetExceeded() {
+				return &Solution{Status: BudgetExceeded, Iterations: r.iterations, Refactorizations: r.refactors}, nil
+			}
 			if r.cancelled() {
 				return &Solution{Status: Cancelled, Iterations: r.iterations, Refactorizations: r.refactors}, nil
 			}
@@ -156,7 +143,7 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis) (*Solution, *revise
 		}
 	}
 	sol := r.phase2()
-	if sol.Status == Cancelled {
+	if sol.Status == Cancelled || sol.Status == BudgetExceeded {
 		return sol, nil
 	}
 	if sol.Status != Optimal || !sf.verify(sol.X) {

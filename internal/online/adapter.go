@@ -37,6 +37,12 @@ type Config struct {
 	// is cancelled mid-pivot when it expires and the previous policy stays
 	// in place (0: only the caller's context bounds the solve).
 	SolveBudget time.Duration
+	// PivotBudget bounds the simplex pivots of one re-solve — a
+	// deterministic sibling of SolveBudget for deployments that meter work
+	// rather than time. An exhausted budget surfaces as lp.BudgetExceeded
+	// and is treated exactly like a cancelled refresh: counted in
+	// FailedRefreshes, previous policy keeps serving (0: unlimited).
+	PivotBudget int
 }
 
 // WithDefaults returns the configuration with every zero field replaced by
@@ -150,12 +156,15 @@ func New(rebuild func(*core.ServiceRequester) (*core.System, error), opts core.O
 	if err != nil {
 		return nil, err
 	}
-	if cfg.DriftThreshold < 0 || cfg.MinSlices < 1 || cfg.MinEvidence < 0 || cfg.CheckEvery < 1 || cfg.SolveBudget < 0 {
+	if cfg.DriftThreshold < 0 || cfg.MinSlices < 1 || cfg.MinEvidence < 0 || cfg.CheckEvery < 1 || cfg.SolveBudget < 0 || cfg.PivotBudget < 0 {
 		return nil, fmt.Errorf("online: invalid config %+v", cfg)
 	}
 	opts.Initial = nil // uniform; the controller has no state to privilege
 	opts.SkipEvaluation = true
 	opts.WarmBasis = nil
+	if cfg.PivotBudget > 0 {
+		opts.LPMaxPivots = cfg.PivotBudget
+	}
 	return &Adapter{cfg: cfg, opts: opts, rebuild: rebuild, est: est}, nil
 }
 

@@ -2,6 +2,7 @@ package online_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -351,6 +352,44 @@ func TestAdapterFailedRefreshKeepsPolicy(t *testing.T) {
 	}
 	if st := a.Stats(); st.FailedRefreshes != 1 || st.Refreshes != 0 {
 		t.Errorf("stats %+v; want one failed, zero successful refreshes", st)
+	}
+}
+
+// TestAdapterPivotBudget: an exhausted pivot budget behaves exactly like a
+// cancelled refresh — reported, counted as failed, previous policy (here:
+// none) keeps serving.
+func TestAdapterPivotBudget(t *testing.T) {
+	a, err := online.New(diskRebuild, diskOpts(), online.Config{
+		Memory:         1,
+		Decay:          0.98,
+		DriftThreshold: 0.1,
+		MinSlices:      100,
+		MinEvidence:    4,
+		CheckEvery:     25,
+		PivotBudget:    1, // no policy LP solves in one pivot
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	out, err := a.Observe(context.Background(), trace.OnOff(rng, 400, 0.1, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Refreshed || out.RefreshErr == nil {
+		t.Fatalf("outcome %+v; want a reported failed refresh", out)
+	}
+	if !errors.Is(out.RefreshErr, lp.ErrNotOptimal) {
+		t.Errorf("RefreshErr = %v; want wrap of lp.ErrNotOptimal", out.RefreshErr)
+	}
+	if a.Current() != nil {
+		t.Errorf("a policy was installed despite the exhausted pivot budget")
+	}
+	if st := a.Stats(); st.FailedRefreshes != 1 || st.Refreshes != 0 {
+		t.Errorf("stats %+v; want one failed, zero successful refreshes", st)
+	}
+	if _, err := online.New(diskRebuild, diskOpts(), online.Config{PivotBudget: -1}); err == nil {
+		t.Errorf("negative pivot budget accepted")
 	}
 }
 

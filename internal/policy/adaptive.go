@@ -119,7 +119,7 @@ func (a *Adaptive) Command(obs Observation) int {
 // failures leave the previous policy in place. Because the SP and queue
 // structure are fixed and the extractor's state count is fixed by Memory,
 // each refresh's LP is structurally identical to the previous one, so the
-// solve warm-starts from the last optimal basis (lp.SolveWithBasis falls
+// solve warm-starts from the last optimal basis (lp.Solver.Solve falls
 // back to a cold solve transparently if the basis does not carry over).
 func (a *Adaptive) refresh() {
 	window := make([]int, 0, a.Window)

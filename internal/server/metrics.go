@@ -12,17 +12,19 @@ import (
 // and Prometheus-style text on /metrics — and drive the end-to-end tests,
 // which replay a query stream and assert on exactly these numbers.
 type counters struct {
-	Requests        atomic.Int64 // HTTP requests across all endpoints
-	OptimizeQueries atomic.Int64 // POST /v1/optimize bodies accepted
-	SweepQueries    atomic.Int64 // POST /v1/sweep bodies accepted
-	ExactHits       atomic.Int64 // queries answered from the result cache
-	WarmSolves      atomic.Int64 // solves that reused a cached basis
-	ColdSolves      atomic.Int64 // solves from scratch
-	SharedSolves    atomic.Int64 // queries deduplicated onto an in-flight solve
-	Infeasible      atomic.Int64 // solves that proved the constraints infeasible
-	CancelledSolves atomic.Int64 // solves aborted by deadline or detach
-	Pivots          atomic.Int64 // total simplex pivots performed
-	Evictions       atomic.Int64 // cache entries evicted by the LRU
+	Requests         atomic.Int64 // HTTP requests across all endpoints
+	OptimizeQueries  atomic.Int64 // POST /v1/optimize bodies accepted
+	SweepQueries     atomic.Int64 // POST /v1/sweep bodies accepted
+	ExactHits        atomic.Int64 // queries answered from the result cache
+	WarmSolves       atomic.Int64 // solves that reused a cached basis
+	ColdSolves       atomic.Int64 // solves from scratch
+	SharedSolves     atomic.Int64 // queries deduplicated onto an in-flight solve
+	Infeasible       atomic.Int64 // solves that proved the constraints infeasible
+	CancelledSolves  atomic.Int64 // solves aborted by deadline or detach
+	Pivots           atomic.Int64 // total simplex pivots performed
+	Refactorizations atomic.Int64 // total basis refactorizations across solves
+	BudgetExceeded   atomic.Int64 // solves stopped by a client pivot budget
+	Evictions        atomic.Int64 // cache entries evicted by the LRU
 
 	// Online adaptation (POST /v1/models/{id}/observe).
 	ObserveRequests      atomic.Int64 // observe bodies accepted
@@ -49,6 +51,8 @@ func (c *counters) snapshot() map[string]int64 {
 		"infeasible":       c.Infeasible.Load(),
 		"cancelled_solves": c.CancelledSolves.Load(),
 		"pivots":           c.Pivots.Load(),
+		"refactorizations": c.Refactorizations.Load(),
+		"budget_exceeded":  c.BudgetExceeded.Load(),
 		"evictions":        c.Evictions.Load(),
 
 		"observe_requests":       c.ObserveRequests.Load(),

@@ -15,7 +15,7 @@
 // from the nearest cached optimal basis; concurrent identical queries are
 // deduplicated onto one in-flight solve. Resource use is bounded by an LRU
 // over cached results/bases and by per-request deadlines that cancel the
-// simplex mid-pivot (core.OptimizeCtx → lp.SolveWithBasisCtx).
+// simplex mid-pivot (core.OptimizeCtx → lp.Solver.Solve).
 //
 // Endpoints:
 //
@@ -181,6 +181,10 @@ func queryKey(modelID string, opts core.Options) (string, string, []float64) {
 	num(opts.Alpha)
 	b.WriteString(opts.Objective.Metric)
 	fmt.Fprintf(&b, ";%d;%d;", opts.Objective.Sense, opts.UnvisitedCommand)
+	// Solver strategy knobs are part of the family: a budget-capped or
+	// strategy-pinned query must not be answered from (or seed) the cache of
+	// a differently configured one.
+	fmt.Fprintf(&b, "%d;%d;%d;", opts.LPFactorization, opts.LPPricing, opts.LPMaxPivots)
 	vals := make([]float64, 0, len(opts.Bounds))
 	for _, bd := range opts.Bounds {
 		fmt.Fprintf(&b, "%s;%d;", bd.Metric, bd.Rel)
@@ -243,6 +247,20 @@ func (s *Server) buildOptions(e *modelEntry, req *OptimizeRequest) (core.Options
 		}
 		opts.Bounds = append(opts.Bounds, bd)
 	}
+	f, err := lp.ParseFactorization(req.Factorization)
+	if err != nil {
+		return opts, err
+	}
+	pr, err := lp.ParsePricing(req.Pricing)
+	if err != nil {
+		return opts, err
+	}
+	if req.MaxPivots < 0 {
+		return opts, fmt.Errorf("max_pivots %d negative", req.MaxPivots)
+	}
+	opts.LPFactorization = f
+	opts.LPPricing = pr
+	opts.LPMaxPivots = req.MaxPivots
 	// Shared-cache semantics: uniform initial distribution, no per-request
 	// evaluation pass (averages are exact already).
 	opts.SkipEvaluation = true
@@ -361,9 +379,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			if isContextErr(err) {
 				s.stats.CancelledSolves.Add(1)
 			}
+			if errors.Is(err, lp.ErrBudgetExceeded) {
+				s.stats.BudgetExceeded.Add(1)
+			}
+			if res != nil {
+				s.stats.Pivots.Add(int64(res.LPIterations))
+				s.stats.Refactorizations.Add(int64(res.LPRefactorizations))
+			}
 			return nil, err
 		}
 		s.stats.Pivots.Add(int64(res.LPIterations))
+		s.stats.Refactorizations.Add(int64(res.LPRefactorizations))
 		mode := "cold"
 		if res.WarmStarted {
 			mode = "warm"
@@ -527,6 +553,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					} else {
 						s.stats.ColdSolves.Add(1)
 					}
+					s.stats.Refactorizations.Add(int64(p.Result.LPRefactorizations))
 					// Each point is also a cacheable optimize answer: an
 					// optimize query at a swept bound becomes an exact hit,
 					// and the point's basis seeds future warm starts.
@@ -615,11 +642,16 @@ func isContextErr(err error) bool {
 
 // writeSolveError maps solver failures onto HTTP statuses: deadline and
 // cancellation are 504 (the context error is surfaced verbatim so clients
-// can distinguish), anything else is a 500.
+// can distinguish), an exhausted client-requested pivot budget is 422 (the
+// request was well-formed but declared a budget the solve could not finish
+// in), anything else is a 500.
 func writeSolveError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if isContextErr(err) {
+	switch {
+	case isContextErr(err):
 		status = http.StatusGatewayTimeout
+	case errors.Is(err, lp.ErrBudgetExceeded):
+		status = http.StatusUnprocessableEntity
 	}
 	writeError(w, status, err)
 }

@@ -342,6 +342,73 @@ func TestValidationAndHealth(t *testing.T) {
 	}
 }
 
+// TestSolverKnobs: the factorization/pricing/max_pivots request fields reach
+// the solver — pinned strategies answer like the default, the knobs
+// fingerprint into the cache key, an exhausted pivot budget maps to 422 and
+// the budget_exceeded counter, and unknown strategy names are client errors.
+func TestSolverKnobs(t *testing.T) {
+	_, base := newTestServer(t)
+	req := OptimizeRequest{
+		Model:     "disk",
+		Objective: "power",
+		Bounds:    []BoundSpec{{Metric: "penalty", Rel: "<=", Value: 1.8}},
+	}
+
+	var ref OptimizeResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", req, &ref); st != http.StatusOK || !ref.Feasible {
+		t.Fatalf("reference solve: status %d, %+v", st, ref)
+	}
+
+	pinned := req
+	pinned.Factorization = "sparse"
+	pinned.Pricing = "devex"
+	var resp OptimizeResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", pinned, &resp); st != http.StatusOK {
+		t.Fatalf("pinned solve status %d", st)
+	}
+	// A different strategy tuple is a different fingerprint: no cache hit,
+	// but the same optimum.
+	if resp.Cache == "hit" {
+		t.Errorf("pinned strategies answered from the default-strategy cache")
+	}
+	if d := resp.Objective - ref.Objective; d > 1e-8 || d < -1e-8 {
+		t.Errorf("pinned objective %g vs default %g", resp.Objective, ref.Objective)
+	}
+	var again OptimizeResponse
+	if call(t, http.MethodPost, base+"/v1/optimize", pinned, &again); again.Cache != "hit" {
+		t.Errorf("repeat pinned query: cache %q, want hit", again.Cache)
+	}
+	if n := counter(t, base, "refactorizations"); n <= 0 {
+		t.Errorf("refactorizations counter = %d after two solves", n)
+	}
+
+	budget := req
+	budget.MaxPivots = 1
+	var e errorResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", budget, &e); st != http.StatusUnprocessableEntity {
+		t.Errorf("exhausted pivot budget: status %d, want 422 (%s)", st, e.Error)
+	}
+	if n := counter(t, base, "budget_exceeded"); n != 1 {
+		t.Errorf("budget_exceeded counter = %d, want 1", n)
+	}
+
+	bad := req
+	bad.Factorization = "qr"
+	if st := call(t, http.MethodPost, base+"/v1/optimize", bad, &e); st != http.StatusBadRequest {
+		t.Errorf("unknown factorization: status %d, want 400", st)
+	}
+	bad = req
+	bad.Pricing = "steepest"
+	if st := call(t, http.MethodPost, base+"/v1/optimize", bad, &e); st != http.StatusBadRequest {
+		t.Errorf("unknown pricing: status %d, want 400", st)
+	}
+	bad = req
+	bad.MaxPivots = -3
+	if st := call(t, http.MethodPost, base+"/v1/optimize", bad, &e); st != http.StatusBadRequest {
+		t.Errorf("negative max_pivots: status %d, want 400", st)
+	}
+}
+
 // TestInfeasibleCached: an infeasible verdict is a definitive answer and is
 // cached like any other.
 func TestInfeasibleCached(t *testing.T) {

@@ -14,7 +14,7 @@
 //     core.ParetoSweep: the bound values are split into contiguous chunks,
 //     one per worker, and each chunk is solved in order with LP
 //     warm-starting — every point after a chunk's first reuses the previous
-//     feasible point's optimal simplex basis (lp.SolveWithBasis), falling
+//     feasible point's optimal simplex basis (warm-started lp.Solver.Solve), falling
 //     back to a cold two-phase solve whenever the basis does not carry over.
 //
 // Warm-starting is inherently sequential (each point seeds the next) while
