@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -12,6 +13,24 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lp"
 )
+
+// reportSolveStats surfaces one solve's work counters and its per-stage
+// timing breakdown as benchmark metrics, so BENCH.json records not just how
+// long the solve took but where the time went (ftran/btran/price/factor/
+// update — see lp.Timings for the stage partition).
+func reportSolveStats(b *testing.B, res *core.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.LPIterations), "pivots")
+	b.ReportMetric(float64(res.LPRefactorizations), "refactors")
+	b.ReportMetric(float64(res.LPFactorNNZ), "factor_nnz")
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	t := res.LPTimings
+	b.ReportMetric(ms(t.Ftran), "ftran_ms")
+	b.ReportMetric(ms(t.Btran), "btran_ms")
+	b.ReportMetric(ms(t.Price), "price_ms")
+	b.ReportMetric(ms(t.Factor), "factor_ms")
+	b.ReportMetric(ms(t.Update), "update_ms")
+}
 
 // benchExperiment runs one paper-figure experiment per benchmark iteration
 // at full (paper-scale) parameters and reports its headline numbers as
@@ -278,13 +297,14 @@ func BenchmarkHeterogeneous(b *testing.B) {
 				b.Fatal(err)
 			}
 			if i == b.N-1 {
-				b.ReportMetric(float64(res.LPIterations), "pivots")
-				b.ReportMetric(float64(res.LPRefactorizations), "refactors")
-				b.ReportMetric(float64(res.LPFactorNNZ), "factor_nnz")
+				reportSolveStats(b, res)
 			}
 		}
 	})
 	b.Run("solve-k6", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping in -short mode: ~2 min per iteration")
+		}
 		sys, err := devices.HeterogeneousSystem(6, 4, core.TwoStateSR("w", 0.05, 0.2))
 		if err != nil {
 			b.Fatal(err)
@@ -309,9 +329,7 @@ func BenchmarkHeterogeneous(b *testing.B) {
 				b.Fatal(err)
 			}
 			if i == b.N-1 {
-				b.ReportMetric(float64(res.LPIterations), "pivots")
-				b.ReportMetric(float64(res.LPRefactorizations), "refactors")
-				b.ReportMetric(float64(res.LPFactorNNZ), "factor_nnz")
+				reportSolveStats(b, res)
 			}
 		}
 	})

@@ -16,6 +16,14 @@
 // benches are noise. The 2x default is deliberately loose for the same
 // reason — the check is a tripwire for order-of-magnitude mistakes, not a
 // statistically careful benchmark gate.
+//
+// Headline benches that report the per-stage solver breakdown (ftran_ms,
+// btran_ms, price_ms, factor_ms, update_ms) are additionally checked stage
+// by stage with -max-stage-ratio (default 3, looser than the wall-clock
+// gate: a stage is a fraction of the total, so its single-run variance is
+// higher). Stages below -min-stage-ms in the old record are skipped. This
+// localizes a wall-clock regression to the stage that caused it — and
+// catches a stage that blew up inside an otherwise-absorbed total.
 package main
 
 import (
@@ -45,6 +53,8 @@ func main() {
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/old ns/op exceeds this")
 	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh", "comma-separated headline bench name prefixes")
 	minNS := flag.Float64("min-ns", 1e6, "ignore benches whose old ns/op is below this (too noisy at 1 iteration)")
+	maxStageRatio := flag.Float64("max-stage-ratio", 3.0, "fail when a per-stage solver timing (ftran_ms, …) exceeds this ratio")
+	minStageMS := flag.Float64("min-stage-ms", 50, "ignore stages whose old value is below this many ms")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchtrend: -old is required")
@@ -60,7 +70,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 		os.Exit(2)
 	}
-	regressions, notes := compare(oldRep, newRep, strings.Split(*benches, ","), *maxRatio, *minNS)
+	regressions, notes := compare(oldRep, newRep, strings.Split(*benches, ","), limits{
+		maxRatio:      *maxRatio,
+		minNS:         *minNS,
+		maxStageRatio: *maxStageRatio,
+		minStageMS:    *minStageMS,
+	})
 	for _, n := range notes {
 		fmt.Println(n)
 	}
@@ -88,9 +103,22 @@ func load(path string) (*Report, error) {
 // key disambiguates same-named benchmarks across packages.
 func key(e Entry) string { return e.Package + "\x00" + e.Name }
 
-// compare returns the regression messages (new/old ns/op > maxRatio) and
-// informational notes for the selected headline benches.
-func compare(oldRep, newRep *Report, prefixes []string, maxRatio, minNS float64) (regressions, notes []string) {
+// stageMetrics are the per-stage solver timing units reported by the solve
+// benchmarks (see lp.Timings for the stage partition).
+var stageMetrics = []string{"ftran_ms", "btran_ms", "price_ms", "factor_ms", "update_ms"}
+
+// limits bundles the comparison thresholds.
+type limits struct {
+	maxRatio      float64 // wall-clock ns/op gate
+	minNS         float64 // ns/op noise floor
+	maxStageRatio float64 // per-stage timing gate
+	minStageMS    float64 // per-stage noise floor, in ms
+}
+
+// compare returns the regression messages (new/old ns/op > maxRatio, or a
+// solver stage exceeding maxStageRatio) and informational notes for the
+// selected headline benches.
+func compare(oldRep, newRep *Report, prefixes []string, lim limits) (regressions, notes []string) {
 	old := make(map[string]Entry, len(oldRep.Benchmarks))
 	for _, e := range oldRep.Benchmarks {
 		old[key(e)] = e
@@ -120,16 +148,34 @@ func compare(oldRep, newRep *Report, prefixes []string, maxRatio, minNS float64)
 		if !ok || base <= 0 {
 			continue
 		}
-		if base < minNS {
+		if base < lim.minNS {
 			notes = append(notes, fmt.Sprintf("benchtrend: %s: skipped (%.3gms below min-ns floor)", e.Name, base/1e6))
 			continue
 		}
 		ratio := cur / base
 		msg := fmt.Sprintf("%s: %.3gms -> %.3gms (%.2fx)", e.Name, base/1e6, cur/1e6, ratio)
-		if ratio > maxRatio {
+		if ratio > lim.maxRatio {
 			regressions = append(regressions, msg)
 		} else {
 			notes = append(notes, "benchtrend: "+msg)
+		}
+		for _, stage := range stageMetrics {
+			sb, ok := prev.Metrics[stage]
+			if !ok || sb < lim.minStageMS {
+				continue
+			}
+			sc, ok := e.Metrics[stage]
+			if !ok {
+				notes = append(notes, fmt.Sprintf("benchtrend: %s: %s no longer reported", e.Name, stage))
+				continue
+			}
+			sr := sc / sb
+			smsg := fmt.Sprintf("%s %s: %.3gms -> %.3gms (%.2fx)", e.Name, stage, sb, sc, sr)
+			if sr > lim.maxStageRatio {
+				regressions = append(regressions, smsg)
+			} else {
+				notes = append(notes, "benchtrend: "+smsg)
+			}
 		}
 	}
 	return regressions, notes

@@ -12,6 +12,7 @@ func entry(name string, ns float64) Entry {
 }
 
 func TestCompare(t *testing.T) {
+	lim := limits{maxRatio: 2, minNS: 1e6, maxStageRatio: 3, minStageMS: 50}
 	old := rep(
 		entry("OptimizeDisk", 4e6),
 		entry("SweepDisk", 12e6),
@@ -27,7 +28,7 @@ func TestCompare(t *testing.T) {
 		entry("LargeComposite/sparse-q4", 500e6),
 		entry("ComposeDisk", 5e6), // 25x, but not headline
 	)
-	if regs, _ := compare(old, cur, prefixes, 2, 1e6); len(regs) != 0 {
+	if regs, _ := compare(old, cur, prefixes, lim); len(regs) != 0 {
 		t.Errorf("unexpected regressions: %v", regs)
 	}
 
@@ -37,14 +38,14 @@ func TestCompare(t *testing.T) {
 		entry("SweepDisk", 11e6),
 		entry("LargeComposite/sparse-q4", 500e6),
 	)
-	regs, _ := compare(old, cur, prefixes, 2, 1e6)
+	regs, _ := compare(old, cur, prefixes, lim)
 	if len(regs) != 1 || !strings.Contains(regs[0], "OptimizeDisk") {
 		t.Errorf("regressions = %v, want one for OptimizeDisk", regs)
 	}
 
 	// A new sub-benchmark with no baseline is a note, not a failure.
 	cur = rep(entry("LargeComposite/sparse-q16", 900e6))
-	regs, notes := compare(old, cur, prefixes, 2, 1e6)
+	regs, notes := compare(old, cur, prefixes, lim)
 	if len(regs) != 0 {
 		t.Errorf("missing baseline treated as regression: %v", regs)
 	}
@@ -59,7 +60,51 @@ func TestCompare(t *testing.T) {
 	// Sub-floor baselines are skipped even when headline-matched.
 	old2 := rep(entry("OptimizeDisk", 0.1e6))
 	cur = rep(entry("OptimizeDisk", 10e6))
-	if regs, _ := compare(old2, cur, prefixes, 2, 1e6); len(regs) != 0 {
+	if regs, _ := compare(old2, cur, prefixes, lim); len(regs) != 0 {
 		t.Errorf("sub-floor baseline flagged: %v", regs)
+	}
+}
+
+// stagedEntry builds an entry with a per-stage solver breakdown.
+func stagedEntry(name string, ns, factorMS, priceMS float64) Entry {
+	return Entry{Package: "repro", Name: name, Iterations: 1, Metrics: map[string]float64{
+		"ns/op":     ns,
+		"factor_ms": factorMS,
+		"price_ms":  priceMS,
+		"ftran_ms":  10, // below the 50ms stage floor: never compared
+	}}
+}
+
+func TestCompareStages(t *testing.T) {
+	lim := limits{maxRatio: 2, minNS: 1e6, maxStageRatio: 3, minStageMS: 50}
+	prefixes := []string{"Heterogeneous"}
+	old := rep(stagedEntry("Heterogeneous/solve-k5", 300e6, 100, 60))
+
+	// A stage blowing up 5x inside an absorbed total is a regression even
+	// though the wall clock stays under its own gate.
+	cur := rep(stagedEntry("Heterogeneous/solve-k5", 450e6, 500, 55))
+	regs, _ := compare(old, cur, prefixes, lim)
+	if len(regs) != 1 || !strings.Contains(regs[0], "factor_ms") {
+		t.Errorf("regressions = %v, want one for factor_ms", regs)
+	}
+
+	// Stages within ratio (and sub-floor stages at any ratio) pass.
+	cur = rep(stagedEntry("Heterogeneous/solve-k5", 320e6, 150, 90))
+	if regs, _ := compare(old, cur, prefixes, lim); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// A stage disappearing from the report is a note, not a failure.
+	cur = rep(entry("Heterogeneous/solve-k5", 320e6))
+	regs, notes := compare(old, cur, prefixes, lim)
+	if len(regs) != 0 {
+		t.Errorf("missing stage treated as regression: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		found = found || strings.Contains(n, "no longer reported")
+	}
+	if !found {
+		t.Errorf("missing-stage note absent: %v", notes)
 	}
 }

@@ -148,6 +148,32 @@
 // into its cache key), and the online adapter's Config.PivotBudget meters
 // refresh work deterministically.
 //
+// # Solver performance
+//
+// The sparse path's per-pivot cost is contained by four mechanisms. The
+// FTRAN/BTRAN triangular solves are hyper-sparse: Gilbert–Peierls-style
+// symbolic reachability from the rhs support touches only the reachable
+// pattern, falling back to the dense kernel when fill passes ~10% of n,
+// with an adaptive streak gate that stops attempting symbolic walks while
+// consecutive solves keep coming out dense. The pricing scans
+// (entering-column selection, reduced-cost maintenance and recomputation)
+// fan out over a bounded worker pool (lp.WithPricingWorkers) in fixed
+// contiguous chunks reduced in deterministic order, so the pivot sequence
+// is bit-identical at every worker count. The refactorization cadence
+// scales with basis size (every 120 pivots, stretched to 960 at m ≥ 4096)
+// because Markowitz elimination grows superlinearly with m while one more
+// Forrest–Tomlin eta costs only its nonzeros; stability checks still force
+// early refactorization when the chain degrades. And the elimination's row
+// merges gallop: binary-search the eliminated column, bulk-copy untouched
+// runs.
+//
+// Each solve accounts for its own time: lp.Solution.Timings splits the
+// wall clock into ftran/btran/price/factor/update, and the breakdown
+// threads through core.Result.LPTimings into cmd/dpmbench's per-experiment
+// solver lines, dpmserved's /v1/stats and /metrics counters
+// (solve_ftran_ns, …), and the BENCH.json stage metrics that
+// cmd/benchtrend gates per stage.
+//
 // # Online adaptation
 //
 // The paper optimizes against one stationary workload model; the closing
@@ -157,11 +183,15 @@
 // slice observed t slices ago by d^t, an effective window of 1/(1−d)
 // slices; d = 1 reproduces trace.ExtractSR exactly), a drift controller
 // that re-solves when any sufficiently-evidenced row of the estimate is
-// more than a total-variation threshold away from the served model, and a
-// re-solve path that never rebuilds the LP: core.PatchFrequencyLP rewrites
-// only the SR-dependent coefficients of the resident sparse program
+// more than a total-variation threshold away from the served model — the
+// threshold adapts per row, widening by z standard errors of the row's
+// evidence (Estimator.DriftAdaptive; Config.DriftZ, default 2) so thin
+// rows need proportionally larger deviations to trigger — and a re-solve
+// path that never rebuilds anything: core.PatchFrequencyLP rewrites only
+// the SR-dependent coefficients of the resident sparse program
 // (structure, bounds and sparsity pattern are reused; a probability
-// moving to or from exact zero falls back to one fresh assembly), and
+// moving to or from exact zero falls back to one fresh assembly),
+// core.PatchModel revises the compiled Model in place the same way, and
 // core.OptimizeProblemCtx solves it warm-started from the previous optimal
 // basis under a bounded wall-clock budget — a failed or cancelled refresh
 // keeps the previous policy serving. dpmserved exposes the loop as

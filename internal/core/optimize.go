@@ -71,6 +71,11 @@ type Options struct {
 	// verdict callers treat like a deadline, not a statement about the
 	// problem.
 	LPMaxPivots int
+	// LPPricingWorkers bounds the worker pool of the parallel pricing scans
+	// (0 = auto: GOMAXPROCS capped at 8, 1 = sequential). The pivot sequence
+	// is bit-identical at every worker count, so this is purely a throughput
+	// knob.
+	LPPricingWorkers int
 }
 
 // lpSolver builds the configured lp.Solver for these options.
@@ -79,6 +84,7 @@ func (o *Options) lpSolver() *lp.Solver {
 		lp.WithFactorization(o.LPFactorization),
 		lp.WithPricing(o.LPPricing),
 		lp.WithMaxPivots(o.LPMaxPivots),
+		lp.WithPricingWorkers(o.LPPricingWorkers),
 	)
 }
 
@@ -113,6 +119,10 @@ type Result struct {
 	// shows whether the sparse kernel is containing fill on this model
 	// family.
 	LPFactorNNZ int
+	// LPTimings is the solver's per-stage wall-clock breakdown
+	// (ftran/btran/price/factor/update) — the attribution that shows where
+	// a solve's time went, stage by stage.
+	LPTimings lp.Timings
 	// Basis is the optimal LP basis, reusable as Options.WarmBasis for the
 	// next solve of a structurally identical problem.
 	Basis *lp.Basis
@@ -183,6 +193,7 @@ func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Pr
 		LPIterations:       sol.Iterations,
 		LPRefactorizations: sol.Refactorizations,
 		LPFactorNNZ:        sol.FactorNNZ,
+		LPTimings:          sol.Timings,
 		Basis:              basis,
 		WarmStarted:        sol.WarmStarted,
 	}

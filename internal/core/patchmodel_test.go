@@ -1,0 +1,152 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+)
+
+// requireModelsEqual compares two compiled models bit-for-bit: dimensions,
+// every CSR row's pattern and values, and every metric table. PatchModel's
+// contract is exact equality with a fresh build, so comparisons use ==, not
+// a tolerance.
+func requireModelsEqual(t *testing.T, got, want *core.Model) {
+	t.Helper()
+	if got.N != want.N || got.A != want.A {
+		t.Fatalf("model is %dx%d, want %dx%d", got.N, got.A, want.N, want.A)
+	}
+	for cmd := 0; cmd < want.A; cmd++ {
+		gm, wm := got.P[cmd], want.P[cmd]
+		for i := 0; i < want.N; i++ {
+			gc, gv := gm.RowNZ(i)
+			wc, wv := wm.RowNZ(i)
+			if len(gc) != len(wc) {
+				t.Fatalf("command %d row %d: %d nonzeros, want %d", cmd, i, len(gc), len(wc))
+			}
+			for k := range wc {
+				if gc[k] != wc[k] {
+					t.Fatalf("command %d row %d nz %d: column %d, want %d", cmd, i, k, gc[k], wc[k])
+				}
+				if gv[k] != wv[k] {
+					t.Fatalf("command %d row %d nz %d: value %v, want %v (not bit-identical)",
+						cmd, i, k, gv[k], wv[k])
+				}
+			}
+		}
+	}
+	if len(got.Metrics) != len(want.Metrics) {
+		t.Fatalf("%d metric tables, want %d", len(got.Metrics), len(want.Metrics))
+	}
+	for name, wt := range want.Metrics {
+		gt := got.Metrics[name]
+		if gt == nil {
+			t.Fatalf("metric %q missing", name)
+		}
+		if gt.Rows != wt.Rows || gt.Cols != wt.Cols {
+			t.Fatalf("metric %q is %dx%d, want %dx%d", name, gt.Rows, gt.Cols, wt.Rows, wt.Cols)
+		}
+		for k := range wt.Data {
+			if gt.Data[k] != wt.Data[k] {
+				t.Fatalf("metric %q entry %d: %v, want %v (not bit-identical)",
+					name, k, gt.Data[k], wt.Data[k])
+			}
+		}
+	}
+}
+
+// TestPatchModelMatchesBuild: patching a drifted system onto the model
+// compiled from the original must reproduce sys.Build() bit-for-bit — on a
+// hook-free system (disk) and on one using every behavioral hook (the CPU's
+// SPRow wake coupling, PenaltyFn, LossFn).
+func TestPatchModelMatchesBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(p01, p10 float64) *core.System
+	}{
+		{"disk", func(p01, p10 float64) *core.System {
+			return devices.DiskSystem(core.TwoStateSR("w", p01, p10))
+		}},
+		{"cpu-hooks", func(p01, p10 float64) *core.System {
+			return devices.CPUSystem(core.TwoStateSR("w", p01, p10))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys1 := tc.mk(0.02, 0.30)
+			sys2 := tc.mk(0.35, 0.05)
+			m, err := sys1.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sys2.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.PatchModel(m, sys2); err != nil {
+				t.Fatalf("PatchModel: %v", err)
+			}
+			if m.Sys != sys2 {
+				t.Error("patched model does not reference the new system")
+			}
+			requireModelsEqual(t, m, want)
+		})
+	}
+}
+
+// TestPatchModelPatternChange: an SR probability moving to exactly zero
+// removes nonzeros from the composed rows; the patch must refuse with
+// ErrModelPattern rather than silently corrupt the chains.
+func TestPatchModelPatternChange(t *testing.T) {
+	sys1 := devices.DiskSystem(core.TwoStateSR("w", 0.02, 0.30))
+	sysZero := devices.DiskSystem(core.TwoStateSR("w", 0, 0.30))
+	m, err := sys1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.PatchModel(m, sysZero); !errors.Is(err, core.ErrModelPattern) {
+		t.Fatalf("patch onto structurally different SR: err = %v, want ErrModelPattern", err)
+	}
+}
+
+// TestPatchModelShapeChecks: nil models, moved component dimensions, and a
+// changed metric registry are refused as shape errors, and a refused patch
+// leaves the model usable for a subsequent successful one.
+func TestPatchModelShapeChecks(t *testing.T) {
+	sys := devices.DiskSystem(core.TwoStateSR("w", 0.02, 0.30))
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := core.PatchModel(nil, sys); !errors.Is(err, core.ErrModelShape) {
+		t.Errorf("nil model: err = %v, want ErrModelShape", err)
+	}
+
+	grown := *sys
+	grown.QueueCap = sys.QueueCap + 1
+	if err := core.PatchModel(m, &grown); !errors.Is(err, core.ErrModelShape) {
+		t.Errorf("queue capacity change: err = %v, want ErrModelShape", err)
+	}
+
+	extra := *sys
+	extra.ExtraMetrics = map[string]func(core.State, int) float64{
+		"ones": func(core.State, int) float64 { return 1 },
+	}
+	if err := core.PatchModel(m, &extra); !errors.Is(err, core.ErrModelShape) {
+		t.Errorf("new extra metric: err = %v, want ErrModelShape", err)
+	}
+
+	mx, err := extra.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.PatchModel(mx, sys); !errors.Is(err, core.ErrModelShape) {
+		t.Errorf("dropped extra metric: err = %v, want ErrModelShape", err)
+	}
+
+	if err := core.PatchModel(m, sys); err != nil {
+		t.Errorf("patch after refused patches: %v", err)
+	}
+}

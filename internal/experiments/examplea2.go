@@ -47,6 +47,7 @@ func ExampleA2(cfg Config) (*Result, error) {
 		ID:    "exampleA2",
 		Title: "Worked example A.2: optimal randomized policy of the example system",
 	}
+	res.TallySolve(r)
 	tbl := NewTable("state", "freq y(s)", "π(s_on)", "π(s_off)")
 	for s := 0; s < m.N; s++ {
 		dist := r.Policy.CommandDist(s)

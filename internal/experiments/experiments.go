@@ -16,6 +16,10 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lp"
 )
 
 // Config controls experiment scale.
@@ -46,6 +50,39 @@ type Result struct {
 	Series map[string][]Point
 	// Notes records observations (paper claim vs measured shape).
 	Notes []string
+	// Solver aggregates the LP work behind the experiment (see SolverTally).
+	Solver SolverTally
+}
+
+// SolverTally sums the solver work of every optimization an experiment ran,
+// including the per-stage wall-clock breakdown, so dpmbench's output records
+// not just the reproduced numbers but what producing them cost and where the
+// time went. Pivot and refactorization counts are deterministic for a fixed
+// Config; the stage timings are a measurement of the machine the run
+// happened on.
+type SolverTally struct {
+	Solves           int
+	Pivots           int
+	Refactorizations int
+	Timings          lp.Timings
+}
+
+// TallySolve folds one optimization's solver work into the tally.
+func (r *Result) TallySolve(res *core.Result) {
+	if res == nil {
+		return
+	}
+	r.Solver.Solves++
+	r.Solver.Pivots += res.LPIterations
+	r.Solver.Refactorizations += res.LPRefactorizations
+	r.Solver.Timings.Add(res.LPTimings)
+}
+
+// TallySweep folds every solved point of a Pareto sweep into the tally.
+func (r *Result) TallySweep(points []core.ParetoPoint) {
+	for _, p := range points {
+		r.TallySolve(p.Result)
+	}
 }
 
 // AddSeries appends a point to the named series.
@@ -189,6 +226,16 @@ func Render(w io.Writer, res *Result) error {
 	}
 	for _, n := range res.Notes {
 		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	if s := res.Solver; s.Solves > 0 {
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d)/1e6) }
+		t := s.Timings
+		if _, err := fmt.Fprintf(w,
+			"solver: %d solves, %d pivots, %d refactorizations; ftran %s btran %s price %s factor %s update %s\n",
+			s.Solves, s.Pivots, s.Refactorizations,
+			ms(t.Ftran), ms(t.Btran), ms(t.Price), ms(t.Factor), ms(t.Update)); err != nil {
 			return err
 		}
 	}

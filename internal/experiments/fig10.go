@@ -59,6 +59,7 @@ func Fig10(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.TallySweep(pts)
 	for _, pt := range pts {
 		if !pt.Feasible {
 			tbl.AddRow("stochastic", fmt.Sprintf("penalty ≤ %.3g", pt.BoundValue), "infeasible", "-", "LP")

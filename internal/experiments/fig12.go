@@ -32,20 +32,28 @@ func baselineInitial(sys *core.System) (mat.Vector, error) {
 	return q0, nil
 }
 
+// solvedPower pairs one cell's optimal power with the solver record behind
+// it, so experiments that fan cells out on sweep.Map can fold the solver
+// work into the Result tally after the parallel fan-in.
+type solvedPower struct {
+	power float64
+	res   *core.Result
+}
+
 // minPowerBaseline optimizes min power for a baseline configuration under
-// the given bounds; it returns +Inf when infeasible.
-func minPowerBaseline(cfg devices.BaselineConfig, alpha float64, bounds []core.Bound) (float64, error) {
+// the given bounds; the power is +Inf when infeasible.
+func minPowerBaseline(cfg devices.BaselineConfig, alpha float64, bounds []core.Bound) (solvedPower, error) {
 	sys, err := devices.BaselineSystem(cfg)
 	if err != nil {
-		return 0, err
+		return solvedPower{}, err
 	}
 	m, err := sys.Build()
 	if err != nil {
-		return 0, err
+		return solvedPower{}, err
 	}
 	q0, err := baselineInitial(sys)
 	if err != nil {
-		return 0, err
+		return solvedPower{}, err
 	}
 	r, err := core.Optimize(m, core.Options{
 		Alpha:          alpha,
@@ -56,11 +64,22 @@ func minPowerBaseline(cfg devices.BaselineConfig, alpha float64, bounds []core.B
 	})
 	if err != nil {
 		if r != nil && r.Status == lp.Infeasible {
-			return math.Inf(1), nil
+			return solvedPower{power: math.Inf(1), res: r}, nil
 		}
-		return 0, err
+		return solvedPower{}, err
 	}
-	return r.Objective, nil
+	return solvedPower{power: r.Objective, res: r}, nil
+}
+
+// tallyPowers folds each cell's solver record into the result and returns
+// the plain power values in cell order.
+func tallyPowers(res *Result, cells []solvedPower) []float64 {
+	powers := make([]float64, len(cells))
+	for i, c := range cells {
+		res.TallySolve(c.res)
+		powers[i] = c.power
+	}
+	return powers
 }
 
 // Fig12a reproduces paper Fig. 12(a): optimal power versus the set of
@@ -100,8 +119,8 @@ func Fig12a(cfg Config) (*Result, error) {
 	tbl := NewTable("sleep states", "power (perf ≤ 0.05)", "power (perf ≤ 0.5)")
 	// One independent model build + solve per (structure, constraint) cell,
 	// fanned out on the sweep engine's worker pool.
-	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(structures)*len(constraints),
-		func(_ context.Context, i int) (float64, error) {
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(structures)*len(constraints),
+		func(_ context.Context, i int) (solvedPower, error) {
 			s, c := structures[i/len(constraints)], constraints[i%len(constraints)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = nil
@@ -115,6 +134,7 @@ func Fig12a(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	powers := tallyPowers(res, cells)
 	for si, s := range structures {
 		row := []any{s.name}
 		for ci, c := range constraints {
@@ -158,8 +178,8 @@ func Fig12b(cfg Config) (*Result, error) {
 	}
 	tbl := NewTable("wake prob", "sleep 2W/perf", "sleep 2W/loss", "sleep 0W/perf", "sleep 0W/loss")
 	perRow := len(sleepPowers) * len(constraints)
-	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(wakeProbs)*perRow,
-		func(_ context.Context, i int) (float64, error) {
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(wakeProbs)*perRow,
+		func(_ context.Context, i int) (solvedPower, error) {
 			wp := wakeProbs[i/perRow]
 			sp := sleepPowers[i%perRow/len(constraints)]
 			c := constraints[i%len(constraints)]
@@ -170,6 +190,7 @@ func Fig12b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	powers := tallyPowers(res, cells)
 	for wi, wp := range wakeProbs {
 		row := []any{wp}
 		for si, sp := range sleepPowers {

@@ -40,8 +40,8 @@ func Fig13a(cfg Config) (*Result, error) {
 		Title: "Baseline system (4 sleep states): optimal power vs SR burstiness (load fixed at 0.5)",
 	}
 	tbl := NewTable("flip prob", "power (perf ≤ 0.2)", "power (perf ≤ 0.8)")
-	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(flips)*len(constraints),
-		func(_ context.Context, i int) (float64, error) {
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(flips)*len(constraints),
+		func(_ context.Context, i int) (solvedPower, error) {
 			f, c := flips[i/len(constraints)], constraints[i%len(constraints)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = devices.DeepSleepStates()
@@ -54,6 +54,7 @@ func Fig13a(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	powers := tallyPowers(res, cells)
 	for fi, f := range flips {
 		row := []any{f}
 		for ci, c := range constraints {
@@ -166,6 +167,7 @@ func Fig13b(cfg Config) (*Result, error) {
 		for si, spv := range sps {
 			cell := cells[ki*len(sps)+si]
 			r := cell.r
+			res.TallySolve(r)
 			ctrl, err := stationaryCtrl(cell.sys, r.Policy, simSeed)
 			if err != nil {
 				return nil, err

@@ -96,6 +96,7 @@ func Fig14a(cfg Config) (*Result, error) {
 	for ti, tp := range trapProbs {
 		for li, lb := range lossBounds {
 			c := cells[ti*len(lossBounds)+li]
+			res.TallySolve(c.r)
 			series := "tight"
 			if lb > 0.05 {
 				series = "loose"
@@ -153,8 +154,8 @@ func Fig14b(cfg Config) (*Result, error) {
 		Title: "Baseline system (4 sleep states): optimal power vs queue length",
 	}
 	tbl := NewTable("queue length", "power (loss ≤ 0.02)", "power (loss ≤ 0.1)", "power (loss ≤ 0.6)")
-	powers, err := sweep.Map(context.Background(), sweep.Config{}, len(queueLens)*len(lossBounds),
-		func(_ context.Context, i int) (float64, error) {
+	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(queueLens)*len(lossBounds),
+		func(_ context.Context, i int) (solvedPower, error) {
 			q, lb := queueLens[i/len(lossBounds)], lossBounds[i%len(lossBounds)]
 			bc := devices.DefaultBaseline()
 			bc.Sleep = devices.DeepSleepStates()
@@ -167,6 +168,7 @@ func Fig14b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	powers := tallyPowers(res, cells)
 	for qi, q := range queueLens {
 		row := []any{q}
 		for li, lb := range lossBounds {

@@ -99,6 +99,7 @@ func Fig8b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.TallySweep(pts)
 	simSeed := cfg.Seed + 88
 	for _, p := range pts {
 		if !p.Feasible {
@@ -232,6 +233,7 @@ func Fig8b(cfg Config) (*Result, error) {
 			o.Bounds = append([]core.Bound{}, baseOpts.Bounds...)
 			o.Bounds = append(o.Bounds, core.Bound{Metric: core.MetricPenalty, Rel: lp.LE, Value: math.Max(p.X, penLo)})
 			r, err := core.Optimize(m, o)
+			res.TallySolve(r)
 			if err != nil {
 				continue // heuristic operates outside the feasible region
 			}

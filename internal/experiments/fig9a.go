@@ -85,6 +85,7 @@ func Fig9a(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.TallySweep(pts)
 	for i, pt := range pts {
 		frac, floor := fractions[i], floors[i]
 		if !pt.Feasible {

@@ -60,6 +60,7 @@ func Fig9b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.TallySweep(pts)
 	for _, pt := range pts {
 		if !pt.Feasible {
 			tbl.AddRow("optimal", fmt.Sprintf("penalty ≤ %.3g", pt.BoundValue), "infeasible", "-", "LP")

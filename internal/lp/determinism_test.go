@@ -1,0 +1,144 @@
+package lp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// wideProblems returns instances wide enough (nTot ≥ parGrain·workers) that
+// the chunked pricing scans genuinely fan out over the worker pool — the
+// parity corpus alone never crosses parGrain, so on its own it would only
+// test the sequential fallback. Cover-style GE rows force both phases to
+// pivot, and the randomized sparse columns give Dantzig, Devex, and partial
+// pricing real tie-break opportunities at chunk boundaries.
+func wideProblems() map[string]*Problem {
+	probs := map[string]*Problem{}
+	for _, w := range []struct {
+		name string
+		seed int64
+		m, n int
+	}{
+		{"wide-cover", 7, 48, 3*parGrain + 17},
+		{"wide-mixed", 19, 32, 8*parGrain + 3},
+	} {
+		r := rand.New(rand.NewSource(w.seed))
+		q := NewProblem(Minimize, w.n)
+		x0 := make([]float64, w.m) // target row activities
+		rows := make([][]float64, w.m)
+		for i := range rows {
+			rows[i] = make([]float64, w.n)
+			x0[i] = 1 + r.Float64()*4
+		}
+		for j := 0; j < w.n; j++ {
+			q.Obj[j] = r.Float64()
+			// Each column touches 1–3 rows with positive weight.
+			for k, t := 0, 1+r.Intn(3); k < t; k++ {
+				rows[r.Intn(w.m)][j] = math.Abs(r.NormFloat64())
+			}
+		}
+		for i, coeffs := range rows {
+			switch {
+			case w.name == "wide-mixed" && i%5 == 0:
+				q.AddConstraint("eq", coeffs, EQ, x0[i])
+			default:
+				q.AddConstraint("ge", coeffs, GE, x0[i])
+			}
+		}
+		probs[w.name] = q
+	}
+	return probs
+}
+
+// solveWith runs one solve at the given pricing rule and worker count.
+func solveWith(t *testing.T, p *Problem, pricing Pricing, workers int) (*Solution, *Basis) {
+	t.Helper()
+	s := NewSolver(WithPricing(pricing), WithPricingWorkers(workers))
+	sol, basis, err := s.Solve(context.Background(), p, nil)
+	if err != nil && sol.Status != Infeasible && sol.Status != Unbounded {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return sol, basis
+}
+
+// TestParallelPricingDeterminism is the bit-identity contract of the
+// chunked pricing scans: for every corpus and wide instance, every pricing
+// rule, and workers ∈ {2, 8}, the solve must reproduce the sequential
+// (workers = 1) run exactly — same pivot count and refactorization count
+// (a pivot sequence that diverged anywhere could not re-converge to both),
+// the same final basis, and a bit-identical solution vector. Run under
+// -race this also proves the fan-out writes are disjoint.
+func TestParallelPricingDeterminism(t *testing.T) {
+	probs := parityProblems()
+	for name, p := range wideProblems() {
+		probs[name] = p
+	}
+	pricings := []Pricing{PriceDantzig, PriceDevex, PricePartial}
+	for name, p := range probs {
+		for _, pricing := range pricings {
+			seq, seqBasis := solveWith(t, p, pricing, 1)
+			for _, workers := range []int{2, 8} {
+				sol, basis := solveWith(t, p, pricing, workers)
+				tag := func(field string) string {
+					return fmt.Sprintf("%s/%s/workers=%d: %s", name, pricing, workers, field)
+				}
+				if sol.Status != seq.Status {
+					t.Errorf("%s: %v, sequential %v", tag("status"), sol.Status, seq.Status)
+					continue
+				}
+				if sol.Iterations != seq.Iterations {
+					t.Errorf("%s: %d, sequential %d", tag("pivots"), sol.Iterations, seq.Iterations)
+				}
+				if sol.Refactorizations != seq.Refactorizations {
+					t.Errorf("%s: %d, sequential %d", tag("refactorizations"), sol.Refactorizations, seq.Refactorizations)
+				}
+				if sol.Objective != seq.Objective {
+					t.Errorf("%s: %v, sequential %v (not bit-identical)", tag("objective"), sol.Objective, seq.Objective)
+				}
+				for j := range seq.X {
+					if sol.X[j] != seq.X[j] {
+						t.Errorf("%s: x[%d] = %v, sequential %v (not bit-identical)", tag("solution"), j, sol.X[j], seq.X[j])
+						break
+					}
+				}
+				switch {
+				case (basis == nil) != (seqBasis == nil):
+					t.Errorf("%s: basis presence %v, sequential %v", tag("basis"), basis != nil, seqBasis != nil)
+				case basis != nil:
+					got, err1 := basis.MarshalBinary()
+					want, err2 := seqBasis.MarshalBinary()
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%s: marshal: %v / %v", tag("basis"), err1, err2)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s: differs from sequential", tag("basis"))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideProblemsEngageParallelPricing guards the suite above against
+// rotting into a sequential-only test: the wide instances must actually
+// cross the pool's fan-out threshold with slack, and must take real pivots
+// to a real optimum rather than exiting on a degenerate edge case.
+func TestWideProblemsEngageParallelPricing(t *testing.T) {
+	pool := newWorkPool(8)
+	for name, p := range wideProblems() {
+		if nv := p.NumVars(); !pool.parallel(nv) {
+			t.Errorf("%s: %d variables does not engage the parallel scan (grain %d)", name, nv, parGrain)
+		}
+		sol, _, err := NewSolver(WithPricingWorkers(2)).Solve(context.Background(), p, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if sol.Status != Optimal || sol.Iterations == 0 {
+			t.Errorf("%s: status %v after %d pivots, want a pivoted optimum", name, sol.Status, sol.Iterations)
+		}
+	}
+}

@@ -34,6 +34,15 @@ type Factorizer interface {
 	Ftran(v mat.Vector) mat.Vector
 	// Btran solves Bᵀ y = c. c is not modified.
 	Btran(c mat.Vector) mat.Vector
+	// FtranSp solves B x = b for a sparse right-hand side (an entering
+	// column), writing the direction into x. b is consumed. On return x has
+	// a sorted pattern, or is marked Dense when the result outgrew the
+	// kernel's hyper-sparsity threshold (always, for the dense kernel).
+	// Results are bit-identical to Ftran on the same rhs.
+	FtranSp(b, x *mat.SpVec)
+	// BtranSp solves Bᵀ y = c for a sparse right-hand side (the unit vector
+	// of a leaving row), writing into y; same contract as FtranSp.
+	BtranSp(c, y *mat.SpVec)
 	// Update absorbs the replacement of the basis column in slot row by the
 	// standard-form column with sparse entries (rows, vals); w = B⁻¹a is the
 	// column's FTRAN image in the pre-pivot basis (the entering direction
@@ -113,8 +122,26 @@ func (f *denseFactorizer) Btran(c mat.Vector) mat.Vector {
 	return f.lu.SolveT(v)
 }
 
+// FtranSp densifies and defers to Ftran — the dense kernel has no sparse
+// path, so the result is always marked Dense.
+func (f *denseFactorizer) FtranSp(b, x *mat.SpVec) {
+	x.Reset()
+	x.Dense = true
+	copy(x.Val, b.Val)
+	x.Val = f.Ftran(x.Val)
+}
+
+// BtranSp densifies and defers to Btran.
+func (f *denseFactorizer) BtranSp(c, y *mat.SpVec) {
+	y.Reset()
+	y.Dense = true
+	y.Val = f.Btran(c.Val)
+}
+
 func (f *denseFactorizer) Update(row int, w mat.Vector, rows []int, vals []float64) error {
-	f.etas = append(f.etas, eta{r: row, w: w})
+	// w is the solver's reused direction scratch, mutated by the next
+	// FTRAN; the eta file needs its own copy.
+	f.etas = append(f.etas, eta{r: row, w: w.Clone()})
 	return nil
 }
 
@@ -153,6 +180,10 @@ func (s *sparseFactorizer) Refactor(a *mat.CSC, basis []int) error {
 func (s *sparseFactorizer) Ftran(v mat.Vector) mat.Vector { return s.f.Solve(v) }
 
 func (s *sparseFactorizer) Btran(c mat.Vector) mat.Vector { return s.f.SolveT(c) }
+
+func (s *sparseFactorizer) FtranSp(b, x *mat.SpVec) { s.f.SolveSp(b, x) }
+
+func (s *sparseFactorizer) BtranSp(c, y *mat.SpVec) { s.f.SolveTSp(c, y) }
 
 func (s *sparseFactorizer) Update(row int, w mat.Vector, rows []int, vals []float64) error {
 	return s.f.Update(row, rows, vals)

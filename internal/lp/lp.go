@@ -235,6 +235,11 @@ type Solution struct {
 	// WarmStarted reports that the solve reused a caller-supplied Basis and
 	// skipped phase 1 (see Solver.Solve).
 	WarmStarted bool
+	// Timings is the per-stage wall-clock breakdown of the solve
+	// (ftran/btran/price/factor/update) — the attribution that pairs with
+	// Iterations and Refactorizations to show where a solve's time went.
+	// Zero for the tableau strategy.
+	Timings Timings
 }
 
 // ErrNotOptimal is wrapped by Solve when the problem has no optimal solution.

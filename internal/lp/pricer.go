@@ -50,22 +50,46 @@ type Pricer interface {
 
 // dantzigPricer picks the most negative scale-relative reduced cost — the
 // classic rule, and the exact behavior of the pre-strategy solver.
-type dantzigPricer struct{}
+type dantzigPricer struct {
+	pool *workPool
+}
 
 func (dantzigPricer) Reset(int)                      {}
 func (dantzigPricer) NeedsPivotRow() bool            { return false }
 func (dantzigPricer) BeginPivot(_, _ int, _ float64) {}
 func (dantzigPricer) ObserveAlpha(int, float64)      {}
 
-func (dantzigPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int {
+// dantzigScan is the sequential kernel over [lo, hi); the comparison is
+// strict (dj < bestVal), so the first of equals wins — the property the
+// chunked reduction relies on.
+func dantzigScan(d, dScale mat.Vector, pos []int, lo, hi int) (int, float64) {
 	best, bestVal := -1, 0.0
-	for j := 0; j < maxCol; j++ {
-		if pos[j] >= 0 {
-			continue
-		}
-		if dj := d[j]; dj < -costTol*dScale[j] && dj < bestVal {
+	for j := lo; j < hi; j++ {
+		// dScale ≥ 1, so d[j] ≥ 0 can never pass the relative test — reject
+		// before loading dScale (most columns, most iterations).
+		if dj := d[j]; dj < 0 && pos[j] < 0 && dj < -costTol*dScale[j] && dj < bestVal {
 			bestVal = dj
 			best = j
+		}
+	}
+	return best, bestVal
+}
+
+func (p dantzigPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int {
+	if !p.pool.parallel(maxCol) {
+		best, _ := dantzigScan(d, dScale, pos, 0, maxCol)
+		return best
+	}
+	pl := p.pool
+	pl.run(maxCol, func(ci, lo, hi int) {
+		pl.res[ci], pl.resVal[ci] = dantzigScan(d, dScale, pos, lo, hi)
+	})
+	// Ascending-chunk reduction with the sequential scan's strict compare:
+	// ties keep the earlier chunk, i.e. the lower column index.
+	best, bestVal := -1, 0.0
+	for ci := 0; ci < pl.workers; ci++ {
+		if pl.res[ci] >= 0 && pl.resVal[ci] < bestVal {
+			best, bestVal = pl.res[ci], pl.resVal[ci]
 		}
 	}
 	return best
@@ -78,13 +102,14 @@ func (dantzigPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int {
 // per unit step — without any extra FTRANs.
 type devexPricer struct {
 	gamma []float64
+	pool  *workPool
 	enter int
 	leave int
 	piv   float64
 	gq    float64
 }
 
-func newDevexPricer() *devexPricer { return &devexPricer{} }
+func newDevexPricer(pool *workPool) *devexPricer { return &devexPricer{pool: pool} }
 
 func (p *devexPricer) Reset(nTot int) {
 	if cap(p.gamma) < nTot {
@@ -98,19 +123,38 @@ func (p *devexPricer) Reset(nTot int) {
 
 func (p *devexPricer) NeedsPivotRow() bool { return true }
 
-func (p *devexPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int {
+// devexScan is the sequential kernel over [lo, hi); strict compare (score >
+// bestScore) keeps the first of equals.
+func (p *devexPricer) devexScan(d, dScale mat.Vector, pos []int, lo, hi int) (int, float64) {
 	best, bestScore := -1, 0.0
-	for j := 0; j < maxCol; j++ {
-		if pos[j] >= 0 {
-			continue
-		}
+	for j := lo; j < hi; j++ {
 		dj := d[j]
-		if dj >= -costTol*dScale[j] {
+		// dScale ≥ 1: d[j] ≥ 0 can never pass the relative test, so reject
+		// before touching pos/dScale (most columns, most iterations).
+		if dj >= 0 || pos[j] >= 0 || dj >= -costTol*dScale[j] {
 			continue
 		}
 		if score := dj * dj / p.gamma[j]; score > bestScore {
 			bestScore = score
 			best = j
+		}
+	}
+	return best, bestScore
+}
+
+func (p *devexPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int {
+	if !p.pool.parallel(maxCol) {
+		best, _ := p.devexScan(d, dScale, pos, 0, maxCol)
+		return best
+	}
+	pl := p.pool
+	pl.run(maxCol, func(ci, lo, hi int) {
+		pl.res[ci], pl.resVal[ci] = p.devexScan(d, dScale, pos, lo, hi)
+	})
+	best, bestScore := -1, 0.0
+	for ci := 0; ci < pl.workers; ci++ {
+		if pl.res[ci] >= 0 && pl.resVal[ci] > bestScore {
+			best, bestScore = pl.res[ci], pl.resVal[ci]
 		}
 	}
 	return best
@@ -147,9 +191,10 @@ func (p *devexPricer) ObserveAlpha(j int, alpha float64) {
 // column range.
 type partialPricer struct {
 	cursor int
+	pool   *workPool
 }
 
-func newPartialPricer() *partialPricer { return &partialPricer{} }
+func newPartialPricer(pool *workPool) *partialPricer { return &partialPricer{pool: pool} }
 
 func (p *partialPricer) Reset(int)                      { p.cursor = 0 }
 func (p *partialPricer) NeedsPivotRow() bool            { return false }
@@ -170,27 +215,17 @@ func (p *partialPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int 
 	scanned := 0
 	start := p.cursor
 	for scanned < maxCol {
-		end := start + window
-		best, bestVal := -1, 0.0
-		for o := start; o < end && scanned < maxCol; o++ {
-			j := o
-			if j >= maxCol {
-				j -= maxCol
-			}
-			scanned++
-			if pos[j] >= 0 {
-				continue
-			}
-			if dj := d[j]; dj < -costTol*dScale[j] && dj < bestVal {
-				bestVal = dj
-				best = j
-			}
+		wlen := window
+		if rem := maxCol - scanned; wlen > rem {
+			wlen = rem
 		}
+		best := p.scanWindow(d, dScale, pos, start, wlen, maxCol)
+		scanned += wlen
 		if best >= 0 {
 			p.cursor = (best + 1) % maxCol
 			return best
 		}
-		start = end
+		start += wlen
 		if start >= maxCol {
 			start -= maxCol
 		}
@@ -198,13 +233,66 @@ func (p *partialPricer) Choose(d, dScale mat.Vector, pos []int, maxCol int) int 
 	return -1
 }
 
+// scanWindow runs the Dantzig scan over the wrapped window of wlen columns
+// starting at start, chunked over the pool when wide enough. Offsets within
+// the window — not raw column indices — order the reduction, so ties
+// resolve exactly as the sequential wrapped scan does.
+func (p *partialPricer) scanWindow(d, dScale mat.Vector, pos []int, start, wlen, maxCol int) int {
+	scan := func(lo, hi int) (int, float64) {
+		best, bestVal := -1, 0.0
+		for o := lo; o < hi; o++ {
+			j := start + o
+			if j >= maxCol {
+				j -= maxCol
+			}
+			if dj := d[j]; dj < 0 && pos[j] < 0 && dj < -costTol*dScale[j] && dj < bestVal {
+				bestVal = dj
+				best = j
+			}
+		}
+		return best, bestVal
+	}
+	if !p.pool.parallel(wlen) {
+		best, _ := scan(0, wlen)
+		return best
+	}
+	pl := p.pool
+	pl.run(wlen, func(ci, lo, hi int) {
+		pl.res[ci], pl.resVal[ci] = scan(lo, hi)
+	})
+	best, bestVal := -1, 0.0
+	for ci := 0; ci < pl.workers; ci++ {
+		if pl.res[ci] >= 0 && pl.resVal[ci] < bestVal {
+			best, bestVal = pl.res[ci], pl.resVal[ci]
+		}
+	}
+	return best
+}
+
 // blandChoose is the Bland's-rule scan (first eligible column) the solver
 // falls back to after stalling; shared by every pricing strategy because it
-// is what guarantees termination.
-func blandChoose(d, dScale mat.Vector, pos []int, maxCol int) int {
-	for j := 0; j < maxCol; j++ {
-		if pos[j] < 0 && d[j] < -costTol*dScale[j] {
-			return j
+// is what guarantees termination. Chunked, each chunk reports its first
+// eligible column and the lowest non-empty chunk wins — chunks are
+// contiguous and ascending, so that is the globally lowest index, exactly
+// the sequential answer.
+func blandChoose(d, dScale mat.Vector, pos []int, maxCol int, pool *workPool) int {
+	scan := func(lo, hi int) int {
+		for j := lo; j < hi; j++ {
+			if dj := d[j]; dj < 0 && pos[j] < 0 && dj < -costTol*dScale[j] {
+				return j
+			}
+		}
+		return -1
+	}
+	if !pool.parallel(maxCol) {
+		return scan(0, maxCol)
+	}
+	pool.run(maxCol, func(ci, lo, hi int) {
+		pool.res[ci] = scan(lo, hi)
+	})
+	for ci := 0; ci < pool.workers; ci++ {
+		if pool.res[ci] >= 0 {
+			return pool.res[ci]
 		}
 	}
 	return -1

@@ -58,10 +58,21 @@ type revised struct {
 	// ColDot sweep pays, and it is never asymptotically worse.
 	rowCols [][]int32
 	rowVals [][]float64
-	alpha   mat.Vector // pivot-row workspace, valid for entries in touched
-	touched []int32    // columns written by the last pivotRow scatter
-	mark    []int32    // scatter stamps (mark[j] == stamp ⇒ alpha[j] live)
+	acell   []alphaCell // pivot-row workspace, valid for entries in touched
+	touched []int32     // columns written by the last pivotRow scatter
 	stamp   int32
+
+	// Indexed-sparse-vector scratch for the per-pivot kernel solves (see
+	// mat.SpVec): the entering-column FTRAN pair and the unit-vector BTRAN
+	// pair. Results are valid until the next call on the same pair.
+	ftIn, ftOut *mat.SpVec
+	btIn, btOut *mat.SpVec
+
+	// pool chunks the column-parallel pricing scans (see parprice.go); tm
+	// accumulates the per-stage wall-clock breakdown reported in
+	// Solution.Timings.
+	pool *workPool
+	tm   Timings
 
 	iterations    int
 	refactors     int
@@ -109,10 +120,25 @@ func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverC
 		// dominates wall clock on 10⁴-row bases.
 		if !conservative {
 			r.refactorEvery = 120
+			// The Markowitz refactorization grows superlinearly with m (the
+			// elimination's merge traffic dominated solve-k6's wall clock at
+			// cadence 120: ~84% of CPU; stretching it to 960 cut the 12k-pivot probe 3.0×), while a Forrest–Tomlin eta costs
+			// O(its nnz) per solve — so on large bases a much longer chain is
+			// the right trade. The update's relative stability checks still
+			// force an early refactorization whenever the chain degrades, so
+			// stretching the schedule only spends etas that are numerically
+			// earning their keep. Small bases keep the short cadence: their
+			// refactorization is cheap and the shorter chain is tighter
+			// hygiene on stiff instances.
+			if sf.m >= 4096 {
+				r.refactorEvery = 960
+			}
 		}
 	} else {
 		r.fact = newDenseFactorizer()
 	}
+
+	r.pool = newWorkPool(resolveWorkers(cfg.pricingWorkers))
 
 	pricing := cfg.pricing
 	if pricing == PriceAuto {
@@ -124,11 +150,11 @@ func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverC
 	}
 	switch pricing {
 	case PriceDevex:
-		r.pricer = newDevexPricer()
+		r.pricer = newDevexPricer(r.pool)
 	case PricePartial:
-		r.pricer = newPartialPricer()
+		r.pricer = newPartialPricer(r.pool)
 	default:
-		r.pricer = dantzigPricer{}
+		r.pricer = dantzigPricer{pool: r.pool}
 	}
 
 	r.rowCols = make([][]int32, sf.m)
@@ -151,37 +177,68 @@ func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverC
 			r.rowVals[i] = append(r.rowVals[i], vals[k])
 		}
 	}
-	r.alpha = mat.NewVector(sf.nTot)
-	r.mark = make([]int32, sf.nTot)
+	r.acell = make([]alphaCell, sf.nTot)
 	r.touched = make([]int32, 0, sf.nTot)
+	r.ftIn, r.ftOut = mat.NewSpVec(sf.m), mat.NewSpVec(sf.m)
+	r.btIn, r.btOut = mat.NewSpVec(sf.m), mat.NewSpVec(sf.m)
 
 	r.rebuildPos()
 	return r
 }
 
+// alphaCell fuses a pivot-row workspace value with its scatter stamp so each
+// scatter access touches one cache line instead of two — the scatter is
+// memory-latency bound (random column indices) and runs once per pivot over
+// Σ_{β_i≠0} nnz(row i) entries.
+type alphaCell struct {
+	v    float64
+	mark int32
+	_    int32
+}
+
 // pivotRow computes αᵀ = βᵀA by scattering each nonzero of β through the
-// row-major mirror. The results live in r.alpha at the indices returned (in
+// row-major mirror. The results live in r.acell at the indices returned (in
 // no particular order) until the next call; entries that cancelled to zero
-// may be included.
-func (r *revised) pivotRow(beta mat.Vector) []int32 {
+// may be included. β's sorted pattern keeps the scatter order — and hence
+// every accumulated sum — identical to a dense ascending row sweep.
+func (r *revised) pivotRow(beta *mat.SpVec) []int32 {
 	r.stamp++
 	r.touched = r.touched[:0]
-	for i, bv := range beta {
+	if beta.Dense {
+		for i, bv := range beta.Val {
+			if bv == 0 {
+				continue
+			}
+			r.pivotRowScatter(i, bv)
+		}
+		return r.touched
+	}
+	for _, i := range beta.Ind {
+		bv := beta.Val[i]
 		if bv == 0 {
 			continue
 		}
-		cols := r.rowCols[i]
-		vals := r.rowVals[i]
-		for k, j := range cols {
-			if r.mark[j] != r.stamp {
-				r.mark[j] = r.stamp
-				r.alpha[j] = 0
-				r.touched = append(r.touched, j)
-			}
-			r.alpha[j] += bv * vals[k]
-		}
+		r.pivotRowScatter(i, bv)
 	}
 	return r.touched
+}
+
+// pivotRowScatter accumulates row i of the mirror, scaled by bv, into the
+// alpha workspace.
+func (r *revised) pivotRowScatter(i int, bv float64) {
+	cols := r.rowCols[i]
+	vals := r.rowVals[i]
+	acell := r.acell
+	stamp := r.stamp
+	for k, j := range cols {
+		c := &acell[j]
+		if c.mark != stamp {
+			c.mark = stamp
+			c.v = 0
+			r.touched = append(r.touched, j)
+		}
+		c.v += bv * vals[k]
+	}
 }
 
 func (r *revised) rebuildPos() {
@@ -199,6 +256,7 @@ func (r *revised) rebuildPos() {
 func (r *revised) refactor() bool {
 	r.refactors++
 	t0 := time.Now()
+	defer func() { r.tm.Factor += time.Since(t0) }()
 	if err := r.fact.Refactor(r.sf.a, r.basis); err != nil {
 		if lpDebug {
 			fmt.Fprintf(os.Stderr, "lpdebug: refactor %d iter %d FAILED: %v\n", r.refactors, r.iterations, err)
@@ -224,14 +282,22 @@ func (r *revised) ftran(v mat.Vector) mat.Vector {
 	return r.fact.Ftran(v)
 }
 
-// ftranCol returns B⁻¹ a_j for standard-form column j.
-func (r *revised) ftranCol(j int) mat.Vector {
-	v := mat.NewVector(r.sf.m)
+// ftranCol returns the entering direction B⁻¹ a_j for standard-form column
+// j as an indexed sparse vector: sorted pattern, or marked Dense past the
+// kernel's hyper-sparsity threshold. The result lives in per-solve scratch,
+// valid until the next ftranCol call.
+func (r *revised) ftranCol(j int) *mat.SpVec {
+	t0 := time.Now()
+	r.ftIn.Reset()
 	rows, vals := r.sf.a.ColNZ(j)
 	for k, i := range rows {
-		v[i] = vals[k]
+		if vals[k] != 0 {
+			r.ftIn.Set(i, vals[k])
+		}
 	}
-	return r.ftran(v)
+	r.fact.FtranSp(r.ftIn, r.ftOut)
+	r.tm.Ftran += time.Since(t0)
+	return r.ftOut
 }
 
 // btran solves Bᵀ y = c through the factorization. c is not modified.
@@ -239,13 +305,27 @@ func (r *revised) btran(c mat.Vector) mat.Vector {
 	return r.fact.Btran(c)
 }
 
+// btranUnit returns the pivot-row multiplier β = B⁻ᵀe_row as an indexed
+// sparse vector in per-solve scratch, valid until the next btranUnit call.
+func (r *revised) btranUnit(row int) *mat.SpVec {
+	t0 := time.Now()
+	r.btIn.Reset()
+	r.btIn.Set(row, 1)
+	r.fact.BtranSp(r.btIn, r.btOut)
+	r.tm.Btran += time.Since(t0)
+	return r.btOut
+}
+
 // duals returns y with Bᵀ y = c_B for the given cost vector.
 func (r *revised) duals(cost mat.Vector) mat.Vector {
+	t0 := time.Now()
 	cb := mat.NewVector(r.sf.m)
 	for i, b := range r.basis {
 		cb[i] = cost[b]
 	}
-	return r.btran(cb)
+	y := r.btran(cb)
+	r.tm.Btran += time.Since(t0)
+	return y
 }
 
 // recomputeD refreshes the reduced-cost vector exactly from the duals of
@@ -273,26 +353,38 @@ func (r *revised) duals(cost mat.Vector) mat.Vector {
 // (at most refactorEvery pivots stale, like d itself).
 func (r *revised) recomputeD(cost mat.Vector) {
 	y := r.duals(cost)
+	t0 := time.Now()
 	if r.d == nil {
 		r.d = mat.NewVector(r.sf.nTot)
 		r.dScale = mat.NewVector(r.sf.nTot)
 	}
-	for j := 0; j < r.sf.nTot; j++ {
-		if r.pos[j] >= 0 {
-			r.d[j] = 0
-			r.dScale[j] = 1
-			continue
+	// Column-parallel: each j reads shared y and writes only d[j]/dScale[j],
+	// with per-column accumulation untouched — bit-identical at any worker
+	// count (see parprice.go).
+	span := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if r.pos[j] >= 0 {
+				r.d[j] = 0
+				r.dScale[j] = 1
+				continue
+			}
+			rows, vals := r.sf.a.ColNZ(j)
+			dot, abs := 0.0, 0.0
+			for k, i := range rows {
+				t := vals[k] * y[i]
+				dot += t
+				abs += math.Abs(t)
+			}
+			r.d[j] = cost[j] - dot
+			r.dScale[j] = 1 + math.Abs(cost[j]) + abs
 		}
-		rows, vals := r.sf.a.ColNZ(j)
-		dot, abs := 0.0, 0.0
-		for k, i := range rows {
-			t := vals[k] * y[i]
-			dot += t
-			abs += math.Abs(t)
-		}
-		r.d[j] = cost[j] - dot
-		r.dScale[j] = 1 + math.Abs(cost[j]) + abs
 	}
+	if r.pool.parallel(r.sf.nTot) {
+		r.pool.run(r.sf.nTot, func(_, lo, hi int) { span(lo, hi) })
+	} else {
+		span(0, r.sf.nTot)
+	}
+	r.tm.Price += time.Since(t0)
 }
 
 // updateD applies the tableau objective-row update after a pivot at (row,
@@ -302,20 +394,58 @@ func (r *revised) recomputeD(cost mat.Vector) {
 // pivot row into the pricer (Devex weight maintenance rides along at O(1)
 // per touched column); weight-based pricers force the pass even on
 // degenerate pivots where d itself is unchanged.
-func (r *revised) updateD(beta mat.Vector, row, col int, piv float64) {
+func (r *revised) updateD(beta *mat.SpVec, row, col int, piv float64) {
+	t0 := time.Now()
 	r.pricer.BeginPivot(col, r.basis[row], piv)
 	factor := r.d[col] / piv
 	if factor != 0 || r.pricer.NeedsPivotRow() {
-		for _, j := range r.pivotRow(beta) {
-			if a := r.alpha[j]; a != 0 {
-				if factor != 0 {
-					r.d[j] -= factor * a
+		touched := r.pivotRow(beta) // sequential: FP accumulation order
+		// The consumer is column-parallel: every touched j updates only
+		// d[j] (one multiply, no re-association) and the pricer's γ_j —
+		// write-disjoint, so the result is worker-count-invariant.
+		var apply func(lo, hi int)
+		if dv, ok := r.pricer.(*devexPricer); ok {
+			// Devex weight maintenance inlined: at thousands of touched
+			// columns per pivot the per-column interface call is measurable.
+			// The arithmetic is exactly ObserveAlpha's; d[col] is overwritten
+			// with zero below, so skipping the entering column entirely is
+			// equivalent.
+			gamma, gq := dv.gamma, dv.gq
+			apply = func(lo, hi int) {
+				for _, j := range touched[lo:hi] {
+					a := r.acell[j].v
+					if a == 0 || int(j) == col {
+						continue
+					}
+					if factor != 0 {
+						r.d[j] -= factor * a
+					}
+					t := a / piv
+					if w := t * t * gq; w > gamma[j] {
+						gamma[j] = w
+					}
 				}
-				r.pricer.ObserveAlpha(int(j), a)
 			}
+		} else {
+			apply = func(lo, hi int) {
+				for _, j := range touched[lo:hi] {
+					if a := r.acell[j].v; a != 0 {
+						if factor != 0 {
+							r.d[j] -= factor * a
+						}
+						r.pricer.ObserveAlpha(int(j), a)
+					}
+				}
+			}
+		}
+		if r.pool.parallel(len(touched)) {
+			r.pool.run(len(touched), func(_, lo, hi int) { apply(lo, hi) })
+		} else {
+			apply(0, len(touched))
 		}
 	}
 	r.d[col] = 0
+	r.tm.Price += time.Since(t0)
 }
 
 // price picks the entering column among [0, maxCol) from the maintained
@@ -324,10 +454,15 @@ func (r *revised) updateD(beta mat.Vector, row, col int, piv float64) {
 // reduced cost clears the scale-relative tolerance −costTol·dScale (see
 // recomputeD). Returns -1 at optimality.
 func (r *revised) price(maxCol int, bland bool) int {
+	t0 := time.Now()
+	var col int
 	if bland {
-		return blandChoose(r.d, r.dScale, r.pos, maxCol)
+		col = blandChoose(r.d, r.dScale, r.pos, maxCol, r.pool)
+	} else {
+		col = r.pricer.Choose(r.d, r.dScale, r.pos, maxCol)
 	}
-	return r.pricer.Choose(r.d, r.dScale, r.pos, maxCol)
+	r.tm.Price += time.Since(t0)
+	return col
 }
 
 // ratioTest picks the leaving row for entering direction w. Ratio
@@ -335,7 +470,7 @@ func (r *revised) price(maxCol int, bland bool) int {
 // element wins for stability, except under Bland's rule where the smallest
 // basis index wins to guarantee termination. Returns -1 when the column is
 // unbounded.
-func (r *revised) ratioTest(w mat.Vector, bland bool) int {
+func (r *revised) ratioTest(w *mat.SpVec, bland bool) int {
 	// An entry of w that is tiny relative to ‖w‖∞ is indistinguishable from
 	// FTRAN roundoff once the basis grows ill-conditioned; pivoting on one
 	// steers the basis toward exact singularity. At sparse scale pivots must
@@ -346,11 +481,21 @@ func (r *revised) ratioTest(w mat.Vector, bland bool) int {
 	minPiv := pivotTol
 	if r.atScale {
 		wmax := 0.0
-		for _, a := range w {
-			if a > wmax {
-				wmax = a
-			} else if -a > wmax {
-				wmax = -a
+		if w.Dense {
+			for _, a := range w.Val {
+				if a > wmax {
+					wmax = a
+				} else if -a > wmax {
+					wmax = -a
+				}
+			}
+		} else {
+			for _, i := range w.Ind {
+				if a := w.Val[i]; a > wmax {
+					wmax = a
+				} else if -a > wmax {
+					wmax = -a
+				}
 			}
 		}
 		if rel := pivotRelTol * wmax; rel > minPiv {
@@ -366,14 +511,15 @@ func (r *revised) ratioTest(w mat.Vector, bland bool) int {
 	return -1
 }
 
-func (r *revised) ratioTestTol(w mat.Vector, bland bool, minPiv float64) int {
+// ratioTestTol scans the direction's support in ascending row order — the
+// dense sweep's order, so near-tie resolution (and hence the leaving row)
+// does not depend on which kernel path produced w: entries the sparse path
+// skips are exact zeros, which the dense sweep rejects at the minPiv test.
+func (r *revised) ratioTestTol(w *mat.SpVec, bland bool, minPiv float64) int {
 	bestRow := -1
 	bestRatio := math.Inf(1)
 	bestPivot := 0.0
-	for i, a := range w {
-		if a <= minPiv {
-			continue
-		}
+	consider := func(i int, a float64) {
 		rhs := r.xB[i]
 		if rhs < 0 {
 			rhs = 0 // tiny negative from roundoff: treat as degenerate
@@ -399,6 +545,19 @@ func (r *revised) ratioTestTol(w mat.Vector, bland bool, minPiv float64) int {
 			}
 		}
 	}
+	if w.Dense {
+		for i, a := range w.Val {
+			if a > minPiv {
+				consider(i, a)
+			}
+		}
+	} else {
+		for _, i := range w.Ind {
+			if a := w.Val[i]; a > minPiv {
+				consider(i, a)
+			}
+		}
+	}
 	return bestRow
 }
 
@@ -408,12 +567,27 @@ func (r *revised) ratioTestTol(w mat.Vector, bland bool, minPiv float64) int {
 // cannot absorb the update, the factorization is flagged for an immediate
 // rebuild (the basis bookkeeping is already correct — only FTRAN/BTRAN must
 // wait for the refactorization).
-func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
-	theta := r.xB[row] / w[row]
-	for i := range r.xB {
-		r.xB[i] -= theta * w[i]
-		if r.xB[i] < 0 && r.xB[i] > -zeroTol {
-			r.xB[i] = 0
+func (r *revised) pivotUpdate(row, col int, w *mat.SpVec) {
+	t0 := time.Now()
+	defer func() { r.tm.Update += time.Since(t0) }()
+	theta := r.xB[row] / w.Val[row]
+	if w.Dense {
+		for i := range r.xB {
+			r.xB[i] -= theta * w.Val[i]
+			if r.xB[i] < 0 && r.xB[i] > -zeroTol {
+				r.xB[i] = 0
+			}
+		}
+	} else {
+		// Rows outside the direction's support keep their basic value
+		// exactly (the dense sweep subtracts θ·0 there, and its clamp never
+		// fires on an untouched value: every write path already clamps
+		// (−zeroTol, 0) to zero, so no stored value lies in that band).
+		for _, i := range w.Ind {
+			r.xB[i] -= theta * w.Val[i]
+			if r.xB[i] < 0 && r.xB[i] > -zeroTol {
+				r.xB[i] = 0
+			}
 		}
 	}
 	r.xB[row] = theta
@@ -421,9 +595,9 @@ func (r *revised) pivotUpdate(row, col int, w mat.Vector) {
 	r.basis[row] = col
 	r.pos[col] = row
 	rows, vals := r.sf.a.ColNZ(col)
-	if err := r.fact.Update(row, w, rows, vals); err != nil {
+	if err := r.fact.Update(row, w.Val, rows, vals); err != nil {
 		if lpDebug {
-			fmt.Fprintf(os.Stderr, "lpdebug: update unstable iter %d pivot %g theta %g\n", r.iterations, w[row], theta)
+			fmt.Fprintf(os.Stderr, "lpdebug: update unstable iter %d pivot %g theta %g\n", r.iterations, w.Val[row], theta)
 		}
 		r.needRefactor = true
 	}
@@ -486,10 +660,8 @@ func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 		if row < 0 {
 			return Unbounded
 		}
-		ei := mat.NewVector(r.sf.m)
-		ei[row] = 1
-		beta := r.btran(ei) // pivot row in the pre-pivot basis
-		r.updateD(beta, row, col, w[row])
+		beta := r.btranUnit(row) // pivot row in the pre-pivot basis
+		r.updateD(beta, row, col, w.Val[row])
 		r.pivotUpdate(row, col, w)
 	}
 }
@@ -507,18 +679,16 @@ func (r *revised) driveOutArtificials() {
 		if r.basis[i] < real {
 			continue
 		}
-		ei := mat.NewVector(r.sf.m)
-		ei[i] = 1
-		beta := r.btran(ei)
+		beta := r.btranUnit(i)
 		for j := 0; j < real; j++ {
 			if r.pos[j] >= 0 {
 				continue
 			}
-			if math.Abs(r.sf.a.ColDot(j, beta)) <= pivotTol {
+			if math.Abs(r.sf.a.ColDot(j, beta.Val)) <= pivotTol {
 				continue
 			}
 			w := r.ftranCol(j)
-			if math.Abs(w[i]) > pivotTol {
+			if math.Abs(w.Val[i]) > pivotTol {
 				r.pivotUpdate(i, j, w)
 				break
 			}
@@ -567,6 +737,7 @@ func (r *revised) solve() (sol *Solution) {
 		sol.Iterations = r.iterations
 		sol.Refactorizations = r.refactors
 		sol.FactorNNZ = r.fact.NNZ()
+		sol.Timings = r.tm
 	}()
 	if !r.conservative && r.atScale {
 		// Perturbation is an anti-degeneracy device for sparse-scale bases,
@@ -701,6 +872,7 @@ func (r *revised) phase2() *Solution {
 	sol.Iterations = r.iterations
 	sol.Refactorizations = r.refactors
 	sol.FactorNNZ = r.fact.NNZ()
+	sol.Timings = r.tm
 	return sol
 }
 
@@ -760,15 +932,14 @@ func (r *revised) dualSimplex() bool {
 		if row < 0 {
 			return true
 		}
-		ei := mat.NewVector(r.sf.m)
-		ei[row] = 1
-		beta := r.btran(ei)
+		beta := r.btranUnit(row)
+		tp := time.Now()
 		cand := r.pivotRow(beta)
 		minPiv := pivotTol
 		if r.atScale {
 			amax := 0.0
 			for _, j32 := range cand {
-				if a := math.Abs(r.alpha[j32]); a > amax {
+				if a := math.Abs(r.acell[j32].v); a > amax {
 					amax = a
 				}
 			}
@@ -782,7 +953,7 @@ func (r *revised) dualSimplex() bool {
 			if j >= real || r.pos[j] >= 0 {
 				continue
 			}
-			a := r.alpha[j]
+			a := r.acell[j].v
 			if a >= -minPiv {
 				continue
 			}
@@ -802,14 +973,15 @@ func (r *revised) dualSimplex() bool {
 				}
 			}
 		}
+		r.tm.Price += time.Since(tp)
 		if col < 0 {
 			return false
 		}
 		w := r.ftranCol(col)
-		if math.Abs(w[row]) <= pivotTol {
+		if math.Abs(w.Val[row]) <= pivotTol {
 			return false // direction disagrees with the priced row: bail out
 		}
-		r.updateD(beta, row, col, w[row])
+		r.updateD(beta, row, col, w.Val[row])
 		r.pivotUpdate(row, col, w)
 	}
 }

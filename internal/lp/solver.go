@@ -123,10 +123,11 @@ const autoSparseMin = 256
 
 // solverConfig is the resolved option set of one Solver.
 type solverConfig struct {
-	factorization Factorization
-	pricing       Pricing
-	maxPivots     int
-	wallClock     time.Duration
+	factorization  Factorization
+	pricing        Pricing
+	pricingWorkers int
+	maxPivots      int
+	wallClock      time.Duration
 }
 
 // Option configures a Solver (functional-options pattern).
@@ -140,6 +141,17 @@ func WithFactorization(f Factorization) Option {
 // WithPricing selects the pricing rule.
 func WithPricing(p Pricing) Option {
 	return func(c *solverConfig) { c.pricing = p }
+}
+
+// WithPricingWorkers bounds the worker pool of the parallel pricing scans
+// (entering-column selection, reduced-cost maintenance and recomputation).
+// n <= 0 is auto (GOMAXPROCS capped at 8), n == 1 forces the sequential
+// path, n > 1 pins an explicit pool size. The pivot sequence is bit-identical
+// for every worker count — the scans chunk deterministically and reduce in
+// fixed order — so this is purely a throughput knob (and, in tests, a
+// determinism probe).
+func WithPricingWorkers(n int) Option {
+	return func(c *solverConfig) { c.pricingWorkers = n }
 }
 
 // WithMaxPivots bounds the total simplex pivots of one Solve call (per solve

@@ -1,0 +1,41 @@
+package lp
+
+import "time"
+
+// Timings is the per-stage wall-clock breakdown of one solve, accumulated
+// across phases, warm-start attempts, and the dual-simplex repair loop. The
+// stages partition the pivot loop's heavy operations:
+//
+//   - Ftran: entering-direction solves B x = a_j (sparse or dense kernel).
+//   - Btran: pivot-row multiplier solves Bᵀβ = e_r and dual solves Bᵀy = c_B.
+//   - Price: entering-column selection (Choose / Bland scans), the pivot-row
+//     scatter βᵀA, the reduced-cost maintenance (updateD) and its periodic
+//     exact recomputation.
+//   - Factor: full basis refactorizations, including the exact basic-value
+//     recomputation that follows each one.
+//   - Update: basic-value updates plus the factorization column-replacement
+//     update (Forrest–Tomlin or product-form eta).
+//
+// Cheap glue (ratio tests, bookkeeping) is deliberately unattributed, so
+// Total is a lower bound on solve wall clock, not an identity.
+type Timings struct {
+	Ftran  time.Duration
+	Btran  time.Duration
+	Price  time.Duration
+	Factor time.Duration
+	Update time.Duration
+}
+
+// Total sums the attributed stages.
+func (t Timings) Total() time.Duration {
+	return t.Ftran + t.Btran + t.Price + t.Factor + t.Update
+}
+
+// Add accumulates o into t (used when one logical solve chains attempts).
+func (t *Timings) Add(o Timings) {
+	t.Ftran += o.Ftran
+	t.Btran += o.Btran
+	t.Price += o.Price
+	t.Factor += o.Factor
+	t.Update += o.Update
+}

@@ -159,6 +159,27 @@ func (m *CSR) RowNZ(i int) ([]int, []float64) {
 	return m.colIdx[lo:hi], m.vals[lo:hi]
 }
 
+// RewriteRowNZ overwrites the stored values of row i with vals after
+// verifying that cols matches the stored (sorted) nonzero pattern exactly.
+// This is the in-place revision hook for callers that rebuild a structurally
+// identical matrix with drifted coefficients (core.PatchModel): the row
+// index structure — the part ToCSR pays a sort for — carries over verbatim.
+// A pattern mismatch returns an error with the row left unchanged.
+func (m *CSR) RewriteRowNZ(i int, cols []int, vals []float64) error {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	stored := m.colIdx[lo:hi]
+	if len(cols) != len(stored) {
+		return fmt.Errorf("mat: row %d has %d nonzeros, want %d", i, len(stored), len(cols))
+	}
+	for k, j := range cols {
+		if stored[k] != j {
+			return fmt.Errorf("mat: row %d nonzero %d at column %d, want %d", i, k, stored[k], j)
+		}
+	}
+	copy(m.vals[lo:hi], vals)
+	return nil
+}
+
 // At returns the (i, j) entry (zero if not stored).
 func (m *CSR) At(i, j int) float64 {
 	cols, vals := m.RowNZ(i)

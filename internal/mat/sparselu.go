@@ -88,6 +88,24 @@ type SparseLU struct {
 	// loop allocates only when a row outgrows its capacity.
 	mCols []int
 	mVals []float64
+
+	// Hyper-sparse solve scratch (see spvec.go): the step inverse of
+	// lPivRow, the lazy transpose of the L pattern, the ordered-worklist
+	// bitmask, a second stamp domain (row-pattern marks that coexist with
+	// the mask inside SolveTSp), and the update-spike vector.
+	lStep    []int
+	rowSteps [][]int32
+	mask     workMask
+	stampB   []int
+	visitB   int
+	spk      *SpVec
+
+	// Adaptive density gate of SolveSp (see spvec.go): consecutive
+	// densified results, and the countdown to the next sparse re-probe.
+	spStreak int
+	spProbe  int
+
+	utouch []int // Update's re-elimination scatter touch list, reused
 }
 
 // ftEta is one Forrest–Tomlin row transform: y[row] -= Σ vals[i]·y[rows[i]]
@@ -209,6 +227,10 @@ func FactorColumns(n int, col func(j int) ([]int, []float64), tau float64) (*Spa
 	}
 	var rs []int // candidate scratch, reused across search steps
 	var vs []float64
+	var bestRs []int // snapshot of the winning column's live entries
+	var bestVs []float64
+	var pCols []int // pivot row with the pivot column stripped, shared by merges
+	var pVals []float64
 
 	for k := 0; k < n; k++ {
 		// Markowitz pivot search: scan columns in increasing count order,
@@ -216,7 +238,7 @@ func FactorColumns(n int, col func(j int) ([]int, []float64), tau float64) (*Spa
 		// search) — the best pivot among them is almost always as good as
 		// the global optimum and the search stays O(candidates).
 		const maxExamine = 8
-		best := cand{cost: math.MaxInt}
+		best := cand{row: -1, col: -1, cost: math.MaxInt}
 		examined := 0
 	search:
 		for c := mk.min(); c <= n; c++ {
@@ -252,6 +274,13 @@ func FactorColumns(n int, col func(j int) ([]int, []float64), tau float64) (*Spa
 						best = cand{row: r, col: j, val: v, cost: cost}
 					}
 				}
+				if best.col == j {
+					// Snapshot the column's live entries: if this column
+					// wins, the elimination loop walks exactly this sequence
+					// instead of re-validating colRows[pc] entry by entry.
+					bestRs = append(bestRs[:0], rs...)
+					bestVs = append(bestVs[:0], vs...)
+				}
 				if best.cost == 0 {
 					break search // a singleton pivot cannot be beaten
 				}
@@ -273,29 +302,34 @@ func FactorColumns(n int, col func(j int) ([]int, []float64), tau float64) (*Spa
 		f.colAtPos[k] = pc
 		f.posOfCol[pc] = k
 		f.lPivRow[k] = pr
-		// The pivot row's other columns lose one active entry each.
-		for _, c := range f.rowCols[pr] {
-			if c != pc && !doneCol[c] {
+		// The pivot row's other columns lose one active entry each. The same
+		// pass strips the pivot column out of the pivot row, so every merge
+		// below shares one pre-stripped copy instead of re-skipping pc.
+		pCols, pVals = pCols[:0], pVals[:0]
+		for i, c := range f.rowCols[pr] {
+			if c == pc {
+				continue
+			}
+			pCols = append(pCols, c)
+			pVals = append(pVals, f.rowVals[pr][i])
+			if !doneCol[c] {
 				mk.adjust(c, -1)
 			}
 		}
 
-		// Eliminate the pivot column from every other active row.
-		f.visit++
-		for _, r := range f.colRows[pc] {
-			if pivotedRow[r] || f.stamp[r] == f.visit {
+		// Eliminate the pivot column from every other active row. The search
+		// already collected, deduplicated, and validated the winning column's
+		// entries — walk the snapshot rather than colRows[pc] again. (No row
+		// changed between the search and here; only pr became pivoted.)
+		for i, r := range bestRs {
+			if r == pr {
 				continue
 			}
-			f.stamp[r] = f.visit
-			arv, ok := rowAt(r, pc)
-			if !ok {
-				continue
-			}
-			m := arv / piv
+			m := bestVs[i] / piv
 			f.lRows[k] = append(f.lRows[k], r)
 			f.lVals[k] = append(f.lVals[k], m)
 			f.nnzL++
-			f.combineRow(r, pr, pc, m, doneCol, mk)
+			f.combineRow(r, pc, m, pCols, pVals, doneCol, mk)
 		}
 		f.lRows[k] = compactInts(f.lRows[k])
 		f.lVals[k] = compactFloats(f.lVals[k])
@@ -389,68 +423,96 @@ func boundCount(c, n int) int {
 	return c
 }
 
-// combineRow applies row_r ← row_r − m·row_pr, dropping the entry in pivot
-// column pc exactly and merging the two sorted rows. Column counts and
-// buckets are maintained for fill and exact cancellations.
-func (f *SparseLU) combineRow(r, pr, pc int, m float64, doneCol []bool, mk *mkwState) {
+// combineRow applies row_r ← row_r − m·row_pivot, where (bcs, bvs) is the
+// pivot row with the pivot column pc already stripped; row r's own pc entry
+// is dropped exactly during the merge. Column counts and buckets are
+// maintained for fill and exact cancellations.
+func (f *SparseLU) combineRow(r, pc int, m float64, bcs []int, bvs []float64, doneCol []bool, mk *mkwState) {
 	ac, av := f.rowCols[r], f.rowVals[r]
-	bc, bv := f.rowCols[pr], f.rowVals[pr]
-	if need := len(ac) + len(bc); cap(f.mCols) < need {
+	if need := len(ac) + len(bcs); cap(f.mCols) < need {
 		f.mCols = make([]int, 0, 2*need)
 		f.mVals = make([]float64, 0, 2*need)
 	}
 	nc := f.mCols[:0]
 	nv := f.mVals[:0]
+	la, lb := len(ac), len(bcs)
+	// Locate the eliminated entry pc once (rows are sorted, and a combined
+	// row always holds pc — it is drawn from the pivot column's pattern), so
+	// the merge below can bulk-copy untouched runs without a per-element
+	// pc test.
+	ipc := 0
+	for hi := la; ipc < hi; {
+		if mid := int(uint(ipc+hi) >> 1); ac[mid] < pc {
+			ipc = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copyRun := func(lo, hi int) {
+		if ipc >= lo && ipc < hi {
+			nc = append(nc, ac[lo:ipc]...)
+			nv = append(nv, av[lo:ipc]...)
+			lo = ipc + 1
+		}
+		nc = append(nc, ac[lo:hi]...)
+		nv = append(nv, av[lo:hi]...)
+	}
 	ia, ib := 0, 0
-	for ia < len(ac) || ib < len(bc) {
-		switch {
-		case ib >= len(bc) || (ia < len(ac) && ac[ia] < bc[ib]):
-			if ac[ia] != pc {
-				nc = append(nc, ac[ia])
-				nv = append(nv, av[ia])
+	for ia < la && ib < lb {
+		switch ca, cb := ac[ia], bcs[ib]; {
+		case ca < cb:
+			// Advance over the whole run of row entries below the next
+			// pivot-row column, then move it with two appends (memmove)
+			// instead of one append per element — on the dense late-solve
+			// bases this merge is the factorization's dominant cost.
+			run := ia + 1
+			for run < la && ac[run] < cb {
+				run++
 			}
-			ia++
-		case ia >= len(ac) || bc[ib] < ac[ia]:
-			c := bc[ib]
-			if c != pc {
-				v := -m * bv[ib]
-				if v != 0 {
-					nc = append(nc, c)
-					nv = append(nv, v)
-					// Fill-in: row r newly holds column c.
-					f.colRows[c] = append(f.colRows[c], r)
-					if mk != nil && !doneCol[c] {
-						mk.adjust(c, 1)
-					}
+			copyRun(ia, run)
+			ia = run
+		case cb < ca:
+			if v := -m * bvs[ib]; v != 0 {
+				nc = append(nc, cb)
+				nv = append(nv, v)
+				// Fill-in: row r newly holds column cb.
+				f.colRows[cb] = append(f.colRows[cb], r)
+				if !doneCol[cb] {
+					mk.adjust(cb, 1)
 				}
 			}
 			ib++
 		default:
-			c := ac[ia]
-			if c != pc {
-				v := av[ia] - m*bv[ib]
-				if v != 0 {
-					nc = append(nc, c)
-					nv = append(nv, v)
-				} else if mk != nil && !doneCol[c] {
-					mk.adjust(c, -1)
-				}
+			if v := av[ia] - m*bvs[ib]; v != 0 {
+				nc = append(nc, ca)
+				nv = append(nv, v)
+			} else if !doneCol[ca] {
+				mk.adjust(ca, -1) // exact cancellation
 			}
 			ia++
 			ib++
 		}
 	}
-	// Copy the merge out of the scratch, reusing the row's storage when it
-	// still fits (rows grow by modest amounts, so most merges do).
-	if cap(ac) >= len(nc) {
-		f.rowCols[r] = append(ac[:0], nc...)
-		f.rowVals[r] = append(av[:0], nv...)
-	} else {
-		f.rowCols[r] = append(make([]int, 0, len(nc)+len(nc)/2), nc...)
-		f.rowVals[r] = append(make([]float64, 0, len(nv)+len(nv)/2), nv...)
+	if ia < la {
+		copyRun(ia, la)
 	}
-	f.mCols = nc[:0]
-	f.mVals = nv[:0]
+	for ; ib < lb; ib++ {
+		if v := -m * bvs[ib]; v != 0 {
+			cb := bcs[ib]
+			nc = append(nc, cb)
+			nv = append(nv, v)
+			f.colRows[cb] = append(f.colRows[cb], r)
+			if !doneCol[cb] {
+				mk.adjust(cb, 1)
+			}
+		}
+	}
+	// Swap rather than copy back: the merge scratch becomes the row, and the
+	// row's old storage becomes the next merge's scratch. (Copying back into
+	// the row when it fits was measured slower — the copy traffic costs more
+	// than the occasional scratch re-allocation the swap causes.)
+	f.rowCols[r], f.mCols = nc, ac[:0]
+	f.rowVals[r], f.mVals = nv, av[:0]
 }
 
 func compactInts(s []int) []int {
@@ -634,17 +696,26 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 		panic(fmt.Sprintf("mat: SparseLU.Update slot %d outside [0,%d)", slot, f.n))
 	}
 	// Spike: the entering column pushed through the forward transforms.
-	y := NewVector(f.n)
-	for k, r := range rows {
-		y[r] = vals[k]
+	// Hyper-sparsely — the entering column has a handful of nonzeros, so
+	// the spike support is what keeps updates O(nnz) instead of O(n).
+	f.ensureSpScratch()
+	if f.spk == nil {
+		f.spk = NewSpVec(f.n)
 	}
-	f.applyForward(y)
+	sp := f.spk
+	sp.Reset()
+	for k, r := range rows {
+		if vals[k] != 0 {
+			sp.Set(r, vals[k])
+		}
+	}
+	f.forwardSp(sp)
 
 	t := f.posOfCol[slot]
 	rt := f.rowAtPos[t]
 
 	// Remove column slot from V (validated, deduplicated walk), then insert
-	// the spike entries.
+	// the spike entries in ascending row order (the dense scan's order).
 	f.visit++
 	for _, r := range f.colRows[slot] {
 		if f.stamp[r] == f.visit {
@@ -655,8 +726,23 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 	}
 	f.colRows[slot] = f.colRows[slot][:0]
 	spikeMax := 0.0
-	for r := 0; r < f.n; r++ {
-		if v := y[r]; v != 0 {
+	if sp.Dense {
+		for r := 0; r < f.n; r++ {
+			if v := sp.Val[r]; v != 0 {
+				f.insertRowEntry(r, slot, v)
+				f.colRows[slot] = append(f.colRows[slot], r)
+				if a := math.Abs(v); a > spikeMax {
+					spikeMax = a
+				}
+			}
+		}
+	} else {
+		sp.SortPattern()
+		for _, r := range sp.Ind {
+			v := sp.Val[r]
+			if v == 0 {
+				continue
+			}
 			f.insertRowEntry(r, slot, v)
 			f.colRows[slot] = append(f.colRows[slot], r)
 			if a := math.Abs(v); a > spikeMax {
@@ -679,8 +765,9 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 
 	// Re-eliminate row rt against the rows now above it. Scatter the row,
 	// then walk positions t..n-2 in order; fill lands strictly ahead of the
-	// scan, so one pass suffices.
-	var touched []int
+	// scan, so one pass suffices. (touched reuses per-factorization scratch;
+	// eRows/eVals cannot — they are retained in the appended eta.)
+	touched := f.utouch[:0]
 	for i, c := range f.rowCols[rt] {
 		f.w[c] = f.rowVals[rt][i]
 		touched = append(touched, c)
@@ -702,6 +789,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 				fmt.Printf("ludebug: update reject missing diag at pos %d\n", p)
 			}
 			f.clearScatter(touched)
+			f.utouch = touched
 			return ErrUpdateUnstable
 		}
 		m := val / diag
@@ -723,6 +811,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 	}
 	newDiag := f.w[slot]
 	f.clearScatter(touched)
+	f.utouch = touched
 
 	// Stability: the rotated diagonal must carry real magnitude relative to
 	// the spike, and the elimination multipliers must not have exploded.

@@ -1,0 +1,600 @@
+package mat
+
+// Hyper-sparse triangular solves. The revised simplex feeds SparseLU two
+// kinds of right-hand side almost exclusively: an entering column (a handful
+// of nonzeros) for FTRAN and a unit vector e_r for BTRAN. The dense Solve /
+// SolveT paths still walk all n positions per solve, so on a 10⁴-row basis
+// each pivot pays O(n) for an answer whose support is typically a few dozen
+// entries. The SpVec paths below fix that with Gilbert–Peierls-style
+// symbolic reachability: starting from the rhs support, walk the nonzero
+// pattern of the factor to enumerate exactly the positions the numeric solve
+// can touch, and run the numeric kernel over those positions only.
+//
+// Ordering is the whole trick. The dense passes process positions (or
+// elimination steps) in a fixed ascending/descending order and skip exact
+// zeros; every dependency in the factors points strictly forward along that
+// order (an L elimination step only writes rows pivoted later, a V entry
+// (r, c) has pos(r) ≤ pos(c)). So the reachable set needs no DFS postorder
+// and no priority queue: it is kept in a position-indexed bitmask and
+// consumed by one directional scan — newly discovered work always lands
+// strictly ahead of the cursor, never behind it. The numeric work performed
+// is then exactly the dense pass minus its zero iterations, which makes the
+// sparse result bit-identical to the dense one; the simplex pivot sequence
+// therefore does not depend on which path ran.
+//
+// When reachability stops being sparse (dense rhs, or fill beyond
+// hyperFrac·n during the walk) the pass completes with the dense kernel from
+// wherever the ordered scan stood — again bit-identical, because the
+// remaining unreached positions are precisely the ones the dense code would
+// have skipped or zeroed — and the result is marked Dense.
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// hyperFrac is the density threshold of the hyper-sparse solves: once a
+// pattern grows past hyperFrac·n (+ a small absolute floor), symbolic
+// bookkeeping costs more than the dense sweep it avoids, and the solve
+// falls back to the dense kernel for the remainder of the pass.
+const hyperFrac = 0.1
+
+// The adaptive density gate of SolveSp: after denseStreakMin consecutive
+// solves whose result densified anyway, the symbolic attempt is pure
+// overhead (its reachability walk runs to the threshold and is thrown away),
+// so SolveSp skips straight to the dense kernels — still bit-identical — and
+// re-probes the sparse path every denseProbeEvery solves in case the basis
+// turned hyper-sparse again. The counters live on the factorization object,
+// so every refactorization starts a fresh probe.
+const (
+	denseStreakMin  = 4
+	denseProbeEvery = 16
+)
+
+// SpVec is an indexed sparse vector: a dense value backing plus the list of
+// indices that may hold nonzeros. Entries outside Ind are exactly zero.
+// When Dense is set the pattern is not tracked and all of Val is
+// significant — the automatic fallback representation for solves whose
+// result stopped being sparse. Ind may include entries whose value
+// cancelled to exact zero.
+type SpVec struct {
+	Val   Vector
+	Ind   []int
+	Dense bool
+}
+
+// NewSpVec returns an all-zero sparse vector of dimension n.
+func NewSpVec(n int) *SpVec {
+	return &SpVec{Val: NewVector(n), Ind: make([]int, 0, 64)}
+}
+
+// N returns the dimension.
+func (v *SpVec) N() int { return len(v.Val) }
+
+// NNZ returns the tracked pattern size (n when Dense).
+func (v *SpVec) NNZ() int {
+	if v.Dense {
+		return len(v.Val)
+	}
+	return len(v.Ind)
+}
+
+// Reset restores the all-zero state, zeroing only the entries the pattern
+// says may be live (the whole backing when Dense).
+func (v *SpVec) Reset() {
+	if v.Dense {
+		for i := range v.Val {
+			v.Val[i] = 0
+		}
+		v.Dense = false
+	} else {
+		for _, i := range v.Ind {
+			v.Val[i] = 0
+		}
+	}
+	v.Ind = v.Ind[:0]
+}
+
+// Set scatters value x at index i, recording it in the pattern. The caller
+// must not Set the same index twice between Resets (use the dense backing
+// directly for accumulation).
+func (v *SpVec) Set(i int, x float64) {
+	v.Val[i] = x
+	v.Ind = append(v.Ind, i)
+}
+
+// SortPattern orders the pattern ascending. Consumers that fold the entries
+// in index order (tie-breaking scans, ordered scatters) need this to match
+// a dense 0..n-1 sweep.
+func (v *SpVec) SortPattern() { sort.Ints(v.Ind) }
+
+// maxReach is the pattern size beyond which a hyper-sparse pass abandons
+// symbolic bookkeeping and completes densely.
+func (f *SparseLU) maxReach() int {
+	return int(hyperFrac*float64(f.n)) + 16
+}
+
+// workMask is the ordered worklist of the hyper-sparse passes: a bitmask
+// over positions/steps, consumed by a single ascending or descending scan.
+// Monotone dependencies guarantee discovered work always lies ahead of the
+// scan cursor, so marking is an idempotent OR and no separate visited stamp
+// is needed. The mask must come back all-zero: scans clear bits as they
+// consume them, and early exits call clear().
+type workMask []uint64
+
+func newWorkMask(n int) workMask { return make(workMask, (n+63)/64) }
+
+func (m workMask) set(k int) { m[k>>6] |= 1 << (uint(k) & 63) }
+
+func (m workMask) clear() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// nextUp returns the smallest marked index ≥ k and clears it, or -1.
+func (m workMask) nextUp(k int) int {
+	wi := k >> 6
+	if wi >= len(m) {
+		return -1
+	}
+	w := m[wi] >> (uint(k) & 63) << (uint(k) & 63)
+	for {
+		if w != 0 {
+			b := wi<<6 + bits.TrailingZeros64(w)
+			m[wi] &^= 1 << (uint(b) & 63)
+			return b
+		}
+		wi++
+		if wi >= len(m) {
+			return -1
+		}
+		w = m[wi]
+	}
+}
+
+// nextDown returns the largest marked index ≤ k and clears it, or -1.
+func (m workMask) nextDown(k int) int {
+	if k < 0 {
+		return -1
+	}
+	wi := k >> 6
+	sh := 63 - (uint(k) & 63)
+	w := m[wi] << sh >> sh
+	for {
+		if w != 0 {
+			b := wi<<6 + 63 - bits.LeadingZeros64(w)
+			m[wi] &^= 1 << (uint(b) & 63)
+			return b
+		}
+		wi--
+		if wi < 0 {
+			return -1
+		}
+		w = m[wi]
+	}
+}
+
+// ensureSpScratch sizes the scratch the hyper-sparse passes need beyond the
+// factorization's own workspace: the worklist mask, a second stamp domain
+// (row-pattern marks that must coexist with the mask inside SolveTSp), and
+// the step inverse of lPivRow.
+func (f *SparseLU) ensureSpScratch() {
+	if f.mask == nil {
+		f.mask = newWorkMask(f.n)
+	}
+	if f.stampB == nil {
+		f.stampB = make([]int, f.n)
+	}
+	if f.lStep == nil {
+		f.lStep = make([]int, f.n)
+		for k := 0; k < f.n; k++ {
+			f.lStep[f.lPivRow[k]] = k
+		}
+	}
+}
+
+// ensureRowSteps builds the transpose of the L pattern: rowSteps[r] lists
+// the elimination steps whose multiplier set includes row r, the edge list
+// the hyper-sparse Lᵀ pass walks. L is frozen at factorization time
+// (Forrest–Tomlin updates extend the eta file, not L), so one lazy O(nnz L)
+// build serves the factorization's whole lifetime.
+func (f *SparseLU) ensureRowSteps() {
+	if f.rowSteps != nil {
+		return
+	}
+	cnt := make([]int32, f.n)
+	for k := 0; k < f.n; k++ {
+		for _, r := range f.lRows[k] {
+			cnt[r]++
+		}
+	}
+	f.rowSteps = make([][]int32, f.n)
+	for r, c := range cnt {
+		if c > 0 {
+			f.rowSteps[r] = make([]int32, 0, c)
+		}
+	}
+	for k := 0; k < f.n; k++ {
+		for _, r := range f.lRows[k] {
+			f.rowSteps[r] = append(f.rowSteps[r], int32(k))
+		}
+	}
+}
+
+// forwardSp applies F⁻¹ in place to the sparse vector y (indexed by row):
+// the initial L by reachable elimination steps in ascending step order, then
+// the update etas in append order. Falls back to the dense kernel (marking
+// y Dense) when the pattern outgrows the density threshold.
+func (f *SparseLU) forwardSp(y *SpVec) {
+	if y.Dense || len(y.Ind) > f.maxReach() {
+		if !y.Dense {
+			y.Dense = true
+		}
+		f.applyForward(y.Val)
+		return
+	}
+	f.ensureSpScratch()
+	limit := f.maxReach()
+
+	// Reachable L steps, in ascending order: seed with the steps of the rhs
+	// rows, expand through each step's multiplier rows — always pivoted at
+	// strictly later steps, i.e. strictly ahead of the scan, so their bits
+	// cannot have been consumed yet and the mask doubles as the
+	// pattern-membership test.
+	mask := f.mask
+	for _, r := range y.Ind {
+		mask.set(f.lStep[r])
+	}
+	for k := mask.nextUp(0); k >= 0; k = mask.nextUp(k + 1) {
+		ypk := y.Val[f.lPivRow[k]]
+		if ypk == 0 {
+			continue
+		}
+		rows, vals := f.lRows[k], f.lVals[k]
+		for i, r := range rows {
+			kr := f.lStep[r]
+			if mask[kr>>6]&(1<<(uint(kr)&63)) == 0 {
+				mask.set(kr)
+				y.Ind = append(y.Ind, r)
+			}
+			y.Val[r] -= vals[i] * ypk
+		}
+		if len(y.Ind) > limit {
+			// Dense completion: every pending step is > k (dependencies
+			// point forward), and steps never marked have a zero trigger —
+			// both exactly what the dense loop from k+1 does.
+			mask.clear()
+			for k2 := k + 1; k2 < f.n; k2++ {
+				ypk := y.Val[f.lPivRow[k2]]
+				if ypk == 0 {
+					continue
+				}
+				rows, vals := f.lRows[k2], f.lVals[k2]
+				for i, r := range rows {
+					y.Val[r] -= vals[i] * ypk
+				}
+			}
+			y.Dense = true
+			f.applyEtas(y.Val)
+			return
+		}
+	}
+
+	// Update etas, in append order. Each eta is one sparse dot plus one
+	// scatter; the file is bounded by the refactorization cadence, so no
+	// symbolic phase is needed — just skip the zero triggers like the dense
+	// pass does. Pattern membership here needs a real stamp domain: the
+	// step mask is already consumed.
+	if len(f.etas) > 0 {
+		f.visitB++
+		visB := f.visitB
+		for _, r := range y.Ind {
+			f.stampB[r] = visB
+		}
+		for i := range f.etas {
+			e := &f.etas[i]
+			s := 0.0
+			for j, r := range e.rows {
+				s += e.vals[j] * y.Val[r]
+			}
+			if s == 0 {
+				continue
+			}
+			if f.stampB[e.row] != visB {
+				f.stampB[e.row] = visB
+				y.Ind = append(y.Ind, e.row)
+			}
+			y.Val[e.row] -= s
+		}
+	}
+}
+
+// applyEtas runs the update-eta portion of applyForward on a dense vector.
+func (f *SparseLU) applyEtas(y Vector) {
+	for i := range f.etas {
+		e := &f.etas[i]
+		s := 0.0
+		for j, r := range e.rows {
+			s += e.vals[j] * y[r]
+		}
+		y[e.row] -= s
+	}
+}
+
+// SolveSp solves B x = b for a sparse right-hand side. b is indexed by row
+// and is consumed (it becomes the forward-transformed intermediate); the
+// result is written into x, indexed by column slot, with a sorted pattern.
+// Both vectors must have dimension n. The result is bit-identical to
+// Solve(b): the reachability scan performs the dense pass's iterations in
+// the dense pass's order, minus the iterations the dense pass skips or that
+// produce zeros, and falls back to the dense kernel when the pattern
+// outgrows the density threshold (x is then marked Dense).
+func (f *SparseLU) SolveSp(b, x *SpVec) {
+	if len(b.Val) != f.n || len(x.Val) != f.n {
+		panic("mat: SparseLU.SolveSp dimension mismatch")
+	}
+	x.Reset()
+	if f.spStreak >= denseStreakMin {
+		if f.spProbe > 0 {
+			// Recent solves all densified: go straight to the dense kernels.
+			f.spProbe--
+			if !b.Dense {
+				b.Dense = true
+			}
+			f.applyForward(b.Val)
+			f.backwardDense(b.Val, x.Val, f.n-1)
+			x.Dense = true
+			return
+		}
+		f.spProbe = denseProbeEvery // this call probes the sparse path
+	}
+	f.forwardSp(b)
+	if b.Dense {
+		f.backwardDense(b.Val, x.Val, f.n-1)
+		x.Dense = true
+		f.spStreak++
+		return
+	}
+	f.ensureSpScratch()
+	limit := f.maxReach()
+
+	// Reachable V positions, in descending order: seed with the positions
+	// of the intermediate's rows; a computed x[c] feeds every live V entry
+	// (r2, c) — all at strictly earlier positions, behind the scan.
+	mask := f.mask
+	for _, r := range b.Ind {
+		mask.set(f.posOfRow[r])
+	}
+	for k := mask.nextDown(f.n - 1); k >= 0; k = mask.nextDown(k - 1) {
+		r, c := f.rowAtPos[k], f.colAtPos[k]
+		s := b.Val[r]
+		cols, vals := f.rowCols[r], f.rowVals[r]
+		diag := 0.0
+		for i, cc := range cols {
+			if cc == c {
+				diag = vals[i]
+				continue
+			}
+			s -= vals[i] * x.Val[cc]
+		}
+		x.Val[c] = s / diag
+		x.Ind = append(x.Ind, c)
+		if len(x.Ind) > limit {
+			// Dense completion downward from k-1; skipped positions above k
+			// are unreachable, i.e. the dense pass computes zeros there.
+			mask.clear()
+			f.backwardDense(b.Val, x.Val, k-1)
+			x.Dense = true
+			f.spStreak++
+			return
+		}
+		for _, r2 := range f.colRows[c] {
+			k2 := f.posOfRow[r2]
+			if k2 >= k || mask[k2>>6]&(1<<(uint(k2)&63)) != 0 {
+				continue
+			}
+			if _, ok := f.valueAt(r2, c); !ok {
+				continue // stale column-structure entry
+			}
+			mask.set(k2)
+		}
+	}
+	x.SortPattern()
+	f.spStreak = 0
+}
+
+// backwardDense runs the dense V backward substitution over positions
+// from..0, reading the forward-transformed rhs y and writing x.
+func (f *SparseLU) backwardDense(y, x Vector, from int) {
+	for k := from; k >= 0; k-- {
+		r, c := f.rowAtPos[k], f.colAtPos[k]
+		s := y[r]
+		cols, vals := f.rowCols[r], f.rowVals[r]
+		diag := 0.0
+		for i, cc := range cols {
+			if cc == c {
+				diag = vals[i]
+				continue
+			}
+			s -= vals[i] * x[cc]
+		}
+		x[c] = s / diag
+	}
+}
+
+// SolveTSp solves Bᵀ y = c for a sparse right-hand side. c is indexed by
+// column slot and is not modified; the result is written into y, indexed by
+// row, with a sorted pattern. Bit-identical to SolveT(c), by the same
+// ordered-reachability argument as SolveSp, with dense fallback past the
+// density threshold.
+func (f *SparseLU) SolveTSp(c, y *SpVec) {
+	if len(c.Val) != f.n || len(y.Val) != f.n {
+		panic("mat: SparseLU.SolveTSp dimension mismatch")
+	}
+	y.Reset()
+	if c.Dense || len(c.Ind) > f.maxReach() {
+		copy(y.Val, f.SolveT(c.Val))
+		y.Dense = true
+		return
+	}
+	f.ensureSpScratch()
+	limit := f.maxReach()
+
+	// Vᵀ forward pass over reachable positions in ascending order, with the
+	// same per-column accumulator scheme as the dense pass (acc = f.w, the
+	// all-zero workspace): fixing y at position k scatters row rₖ's
+	// contributions to strictly later positions, ahead of the scan.
+	mask := f.mask
+	for _, cc := range c.Ind {
+		mask.set(f.posOfCol[cc])
+	}
+	acc := f.w
+	bailed := false
+	for k := mask.nextUp(0); k >= 0; k = mask.nextUp(k + 1) {
+		r, cc := f.rowAtPos[k], f.colAtPos[k]
+		s := c.Val[cc] - acc[cc]
+		acc[cc] = 0
+		if s == 0 {
+			continue
+		}
+		diag, _ := f.valueAt(r, cc)
+		yr := s / diag
+		y.Val[r] = yr
+		y.Ind = append(y.Ind, r)
+		cols, vals := f.rowCols[r], f.rowVals[r]
+		for i, c2 := range cols {
+			if c2 == cc {
+				continue
+			}
+			acc[c2] += vals[i] * yr
+			mask.set(f.posOfCol[c2])
+		}
+		if len(y.Ind) > limit {
+			// Dense completion upward from k+1: every pending accumulator
+			// entry sits at a position > k, exactly where the dense loop
+			// will consume it.
+			mask.clear()
+			for k2 := k + 1; k2 < f.n; k2++ {
+				r, cc := f.rowAtPos[k2], f.colAtPos[k2]
+				s := c.Val[cc] - acc[cc]
+				acc[cc] = 0
+				if s == 0 {
+					continue
+				}
+				diag, _ := f.valueAt(r, cc)
+				yr := s / diag
+				y.Val[r] = yr
+				cols, vals := f.rowCols[r], f.rowVals[r]
+				for i, c2 := range cols {
+					if c2 != cc {
+						acc[c2] += vals[i] * yr
+					}
+				}
+			}
+			bailed = true
+			break
+		}
+	}
+	if bailed {
+		y.Dense = true
+		f.etaTDense(y.Val)
+		f.lTDense(y.Val)
+		return
+	}
+
+	// Eta transposes in reverse append order. Row-pattern membership needs
+	// its own stamp domain (stampB) — the mask tracks steps next.
+	f.visitB++
+	visB := f.visitB
+	for _, r := range y.Ind {
+		f.stampB[r] = visB
+	}
+	for i := len(f.etas) - 1; i >= 0; i-- {
+		e := &f.etas[i]
+		t := y.Val[e.row]
+		if t == 0 {
+			continue
+		}
+		for j, r := range e.rows {
+			if f.stampB[r] != visB {
+				f.stampB[r] = visB
+				y.Ind = append(y.Ind, r)
+			}
+			y.Val[r] -= e.vals[j] * t
+		}
+	}
+
+	// Lᵀ pass over reachable elimination steps in descending order: step k
+	// reads its multiplier rows and writes the pivot row of step k, which
+	// appears only in strictly earlier steps' multiplier sets — behind the
+	// scan.
+	f.ensureRowSteps()
+	for _, r := range y.Ind {
+		for _, k := range f.rowSteps[r] {
+			mask.set(int(k))
+		}
+	}
+	for k := mask.nextDown(f.n - 1); k >= 0; k = mask.nextDown(k - 1) {
+		rows, vals := f.lRows[k], f.lVals[k]
+		s := 0.0
+		for i, r := range rows {
+			s += vals[i] * y.Val[r]
+		}
+		if s == 0 {
+			continue
+		}
+		pr := f.lPivRow[k]
+		if f.stampB[pr] != visB {
+			f.stampB[pr] = visB
+			y.Ind = append(y.Ind, pr)
+			if len(y.Ind) > limit {
+				// Dense completion downward from k-1 (unreached steps above
+				// k have all-zero multiplier rows in y).
+				y.Val[pr] -= s
+				mask.clear()
+				for k2 := k - 1; k2 >= 0; k2-- {
+					rows, vals := f.lRows[k2], f.lVals[k2]
+					s := 0.0
+					for i, r := range rows {
+						s += vals[i] * y.Val[r]
+					}
+					y.Val[f.lPivRow[k2]] -= s
+				}
+				y.Dense = true
+				return
+			}
+			for _, k2 := range f.rowSteps[pr] {
+				mask.set(int(k2))
+			}
+		}
+		y.Val[pr] -= s
+	}
+	y.SortPattern()
+}
+
+// etaTDense runs the dense eta-transpose pass of SolveT.
+func (f *SparseLU) etaTDense(w Vector) {
+	for i := len(f.etas) - 1; i >= 0; i-- {
+		e := &f.etas[i]
+		t := w[e.row]
+		if t == 0 {
+			continue
+		}
+		for j, r := range e.rows {
+			w[r] -= e.vals[j] * t
+		}
+	}
+}
+
+// lTDense runs the dense Lᵀ pass of SolveT.
+func (f *SparseLU) lTDense(w Vector) {
+	for k := f.n - 1; k >= 0; k-- {
+		rows, vals := f.lRows[k], f.lVals[k]
+		s := 0.0
+		for i, r := range rows {
+			s += vals[i] * w[r]
+		}
+		w[f.lPivRow[k]] -= s
+	}
+}

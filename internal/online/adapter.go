@@ -23,6 +23,15 @@ type Config struct {
 	// between the estimate and the served SR that is tolerated before a
 	// re-solve is scheduled (default 0.05).
 	DriftThreshold float64
+	// DriftZ makes the trigger per-row adaptive: row s re-solves when its
+	// TV distance exceeds DriftThreshold + DriftZ·SE(s), where SE(s) is the
+	// sampling noise of the row's estimate under its decayed evidence
+	// (Estimator.DriftAdaptive). Thinly observed rows must therefore move
+	// beyond their own noise while well-observed rows keep the tight global
+	// threshold — fewer spurious re-solves on bursty traces at the same
+	// sensitivity on converged ones. Default 2 (a ~95% band); negative
+	// restores the single global threshold (exactly DriftZ = 0).
+	DriftZ float64
 	// MinSlices is the number of observed transitions before the first
 	// policy is solved (default 100).
 	MinSlices int
@@ -60,6 +69,11 @@ func (c Config) WithDefaults() Config {
 	if out.DriftThreshold == 0 {
 		out.DriftThreshold = 0.05
 	}
+	if out.DriftZ == 0 {
+		out.DriftZ = 2
+	} else if out.DriftZ < 0 {
+		out.DriftZ = -1 // canonical "disabled" so effective configs compare equal
+	}
 	if out.MinSlices == 0 {
 		out.MinSlices = 100
 	}
@@ -86,6 +100,11 @@ type Stats struct {
 	// LPRebuilt counts full BuildFrequencyLP assemblies (the first refresh,
 	// plus any refresh whose sparsity pattern moved).
 	LPPatched, LPRebuilt int
+	// ModelPatched counts refreshes whose compiled model was revised in
+	// place by core.PatchModel; ModelRebuilt counts full System.Build
+	// compilations (the first refresh, plus any refresh whose composed
+	// sparsity pattern moved).
+	ModelPatched, ModelRebuilt int
 	// FailedRefreshes counts re-solves that did not produce a policy
 	// (infeasible window, budget exhausted); the previous policy remains.
 	FailedRefreshes int
@@ -106,9 +125,11 @@ type Outcome struct {
 	Refreshed bool
 	Trigger   string
 	// Patched reports the refresh revised the resident LP in place;
+	// ModelPatched that the compiled model was revised in place too;
 	// WarmStarted that its solve reused the previous optimal basis.
-	Patched     bool
-	WarmStarted bool
+	Patched      bool
+	ModelPatched bool
+	WarmStarted  bool
 	// Pivots is the simplex work of the refresh solve.
 	Pivots int
 	// Result is the installed optimization result (nil unless Refreshed).
@@ -200,14 +221,18 @@ func (a *Adapter) Observe(ctx context.Context, counts []int) (*Outcome, error) {
 
 	trigger := "initial"
 	if a.served != nil {
-		drift, err := a.est.Drift(a.served, a.cfg.MinEvidence)
+		z := a.cfg.DriftZ
+		if z < 0 {
+			z = 0 // disabled: per-row thresholds collapse to the global one
+		}
+		ratio, drift, err := a.est.DriftAdaptive(a.served, a.cfg.MinEvidence, a.cfg.DriftThreshold, z)
 		if err != nil {
 			out.RefreshErr = err
 			return out, nil
 		}
 		out.Drift = drift
 		a.stats.LastDrift = drift
-		if drift < a.cfg.DriftThreshold {
+		if ratio < 1 {
 			return out, nil
 		}
 		trigger = "drift"
@@ -237,10 +262,29 @@ func (a *Adapter) refresh(ctx context.Context, out *Outcome, trigger string) {
 		fail(fmt.Errorf("online: rebuilding system: %w", err))
 		return
 	}
-	model, err := sys.Build()
-	if err != nil {
-		fail(fmt.Errorf("online: compiling model: %w", err))
-		return
+	// Revise the resident compiled model in place when its structure carried
+	// over (System.Build is ~30% of a patched refresh), falling back to a
+	// full compilation when the composed sparsity pattern moved. Like the LP
+	// below, the resident model may be left describing the attempted SR when
+	// a later step of this refresh fails; the next refresh re-patches it, and
+	// nothing served to callers aliases it (Result owns its tables).
+	model := a.model
+	if model != nil {
+		if err := core.PatchModel(model, sys); err == nil {
+			out.ModelPatched = true
+			a.stats.ModelPatched++
+		} else {
+			model = nil // pattern or shape moved: recompile below
+		}
+	}
+	if model == nil {
+		var err error
+		model, err = sys.Build()
+		if err != nil {
+			fail(fmt.Errorf("online: compiling model: %w", err))
+			return
+		}
+		a.stats.ModelRebuilt++
 	}
 	if a.prob != nil {
 		if err := core.PatchFrequencyLP(a.prob, model, a.opts); err == nil {

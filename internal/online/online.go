@@ -183,27 +183,59 @@ func (e *Estimator) SR(name string) (*core.ServiceRequester, error) {
 // have the estimator's 2^k states in extractor order — in the adaptation
 // loop it is simply the SR of the previous refresh.
 func (e *Estimator) Drift(served *core.ServiceRequester, minEvidence float64) (float64, error) {
+	_, tv, err := e.DriftAdaptive(served, minEvidence, 1, 0)
+	return tv, err
+}
+
+// rowTV returns the total-variation distance between row s of the current
+// estimate and row s of served.
+func (e *Estimator) rowTV(served *core.ServiceRequester, s int) float64 {
+	n := e.States()
+	succ0 := (s << 1) & e.mask
+	succ1 := succ0 | 1
+	pb := e.PBusy(s)
+	tv := math.Abs((1-pb)-served.P.At(s, succ0)) + math.Abs(pb-served.P.At(s, succ1))
+	for j := 0; j < n; j++ {
+		if j != succ0 && j != succ1 {
+			tv += math.Abs(served.P.At(s, j))
+		}
+	}
+	return tv / 2
+}
+
+// DriftAdaptive is the evidence-aware drift measure: each row's TV distance
+// is compared against its own trigger threshold + z·SE(s), where SE(s) =
+// sqrt(p̃(1−p̃)/Evidence(s)) is the sampling noise of the row's busy-bit
+// estimate (p̃ Laplace-smoothed so saturated rows keep a nonzero noise
+// floor). A well-observed row therefore triggers on small deviations while
+// a thinly observed one must move far beyond its own noise — the per-row
+// scaling that one global threshold cannot express. Returned are the worst
+// ratio TV(s)/threshold(s) over rows with at least minEvidence mass (≥ 1
+// means some row exceeded its trigger) and the raw TV of that worst row.
+// z = 0 degenerates to the global rule: ratio = maxTV/threshold.
+func (e *Estimator) DriftAdaptive(served *core.ServiceRequester, minEvidence, threshold, z float64) (ratio, tv float64, err error) {
 	n := e.States()
 	if served.N() != n {
-		return 0, fmt.Errorf("online: served SR has %d states, estimator %d", served.N(), n)
+		return 0, 0, fmt.Errorf("online: served SR has %d states, estimator %d", served.N(), n)
 	}
-	maxTV := 0.0
+	if threshold <= 0 || z < 0 {
+		return 0, 0, fmt.Errorf("online: invalid adaptive drift parameters threshold=%g z=%g", threshold, z)
+	}
 	for s := 0; s < n; s++ {
-		if e.Evidence(s) < minEvidence {
+		ev := e.Evidence(s)
+		if ev < minEvidence {
 			continue
 		}
-		succ0 := (s << 1) & e.mask
-		succ1 := succ0 | 1
-		pb := e.PBusy(s)
-		tv := math.Abs((1-pb)-served.P.At(s, succ0)) + math.Abs(pb-served.P.At(s, succ1))
-		for j := 0; j < n; j++ {
-			if j != succ0 && j != succ1 {
-				tv += math.Abs(served.P.At(s, j))
-			}
+		rtv := e.rowTV(served, s)
+		thr := threshold
+		if z > 0 && ev > 0 {
+			pb := e.PBusy(s)
+			smoothed := (ev*pb + 0.5) / (ev + 1)
+			thr += z * math.Sqrt(smoothed*(1-smoothed)/ev)
 		}
-		if tv /= 2; tv > maxTV {
-			maxTV = tv
+		if r := rtv / thr; r > ratio {
+			ratio, tv = r, rtv
 		}
 	}
-	return maxTV, nil
+	return ratio, tv, nil
 }

@@ -197,6 +197,87 @@ func TestEstimatorEvidenceGating(t *testing.T) {
 	}
 }
 
+// TestDriftAdaptiveEvidenceScaling: the adaptive trigger suppresses a TV
+// deviation that a thinly observed row cannot statistically support, then
+// fires once the same deviation persists under accumulated evidence — the
+// per-row scaling a single global threshold cannot express.
+func TestDriftAdaptiveEvidenceScaling(t *testing.T) {
+	const threshold, minEv, z = 0.05, 8.0, 2.0
+	e, err := online.NewEstimator(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed + 10 cycles of [0,0,0,0,1]: row 0 sees 40 transitions at
+	// pb₀ = 0.25, row 1 sees 10 at pb₁ = 0.
+	calm := []int{0}
+	for i := 0; i < 10; i++ {
+		calm = append(calm, 0, 0, 0, 0, 1)
+	}
+	feed(t, e, calm)
+	served, err := e.SR("served")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A short burst of [0,1] pulls pb₀ to 0.375 on thin evidence: the raw
+	// TV (0.125) is far above the global threshold, but within the row's
+	// own z = 2 sampling band — the adaptive trigger must hold fire.
+	var burst []int
+	for i := 0; i < 8; i++ {
+		burst = append(burst, 0, 1)
+	}
+	feed(t, e, burst)
+	tvGlobal, err := e.Drift(served, minEv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvGlobal <= threshold {
+		t.Fatalf("raw TV after burst = %g, expected above the global threshold %g", tvGlobal, threshold)
+	}
+	ratio, tv, err := e.DriftAdaptive(served, minEv, threshold, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1 {
+		t.Errorf("adaptive trigger fired on thin evidence: ratio = %g (tv %g)", ratio, tv)
+	}
+
+	// The same regime sustained for 300 more cycles shrinks the row's
+	// sampling band far below the now-large deviation: it must fire.
+	var sustained []int
+	for i := 0; i < 300; i++ {
+		sustained = append(sustained, 0, 1)
+	}
+	feed(t, e, sustained)
+	ratio, tv, err = e.DriftAdaptive(served, minEv, threshold, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 {
+		t.Errorf("adaptive trigger did not fire on sustained drift: ratio = %g (tv %g)", ratio, tv)
+	}
+
+	// z = 0 collapses to the global rule exactly.
+	r0, tv0, err := e.DriftAdaptive(served, minEv, threshold, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTV, err := e.Drift(served, minEv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv0 != maxTV || r0 != maxTV/threshold {
+		t.Errorf("z=0: (ratio, tv) = (%g, %g), want (%g, %g)", r0, tv0, maxTV/threshold, maxTV)
+	}
+
+	if _, _, err := e.DriftAdaptive(served, minEv, 0, z); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, _, err := e.DriftAdaptive(served, minEv, threshold, -1); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
 // diskRebuild swaps the estimated SR into the paper's disk system, the
 // rebuild contract the server uses for preset models.
 func diskRebuild(sr *core.ServiceRequester) (*core.System, error) {
@@ -262,6 +343,9 @@ func TestAdapterDriftLoop(t *testing.T) {
 				if !out.Patched {
 					t.Errorf("drift refresh at slice %d did not use the patch path", hi)
 				}
+				if !out.ModelPatched {
+					t.Errorf("drift refresh at slice %d did not revise the model in place", hi)
+				}
 				if !out.WarmStarted {
 					t.Errorf("drift refresh at slice %d did not warm-start", hi)
 				}
@@ -278,6 +362,12 @@ func TestAdapterDriftLoop(t *testing.T) {
 	}
 	if st.LPPatched < st.Refreshes-1 {
 		t.Errorf("LP patched %d times across %d refreshes", st.LPPatched, st.Refreshes)
+	}
+	if st.ModelRebuilt != 1 {
+		t.Errorf("model compiled from scratch %d times; want exactly 1 (patch path otherwise)", st.ModelRebuilt)
+	}
+	if st.ModelPatched < st.Refreshes-1 {
+		t.Errorf("model patched %d times across %d refreshes", st.ModelPatched, st.Refreshes)
 	}
 	if st.FailedRefreshes != 0 {
 		t.Errorf("%d failed refreshes", st.FailedRefreshes)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/lp"
 )
 
 // counters is the server's observability surface: monotone counters over
@@ -26,6 +28,16 @@ type counters struct {
 	BudgetExceeded   atomic.Int64 // solves stopped by a client pivot budget
 	Evictions        atomic.Int64 // cache entries evicted by the LRU
 
+	// Cumulative per-stage solver wall clock in nanoseconds — the
+	// lp.Timings breakdown (ftran/btran/price/factor/update) summed across
+	// every solve the server ran, so operators can attribute serving CPU to
+	// solver stages (e.g. factor-heavy means refactorization-bound models).
+	SolveFtranNS  atomic.Int64
+	SolveBtranNS  atomic.Int64
+	SolvePriceNS  atomic.Int64
+	SolveFactorNS atomic.Int64
+	SolveUpdateNS atomic.Int64
+
 	// Online adaptation (POST /v1/models/{id}/observe).
 	ObserveRequests      atomic.Int64 // observe bodies accepted
 	SlicesIngested       atomic.Int64 // workload slices fed to estimators
@@ -35,6 +47,16 @@ type counters struct {
 	OnlineRebuilt        atomic.Int64 // refreshes that reassembled the LP
 	OnlineWarm           atomic.Int64 // refreshes whose solve reused the previous basis
 	OnlineFailed         atomic.Int64 // refresh attempts that kept the old policy
+}
+
+// addSolveTimings folds one solve's per-stage breakdown into the
+// cumulative stage counters.
+func (c *counters) addSolveTimings(t lp.Timings) {
+	c.SolveFtranNS.Add(int64(t.Ftran))
+	c.SolveBtranNS.Add(int64(t.Btran))
+	c.SolvePriceNS.Add(int64(t.Price))
+	c.SolveFactorNS.Add(int64(t.Factor))
+	c.SolveUpdateNS.Add(int64(t.Update))
 }
 
 // snapshot returns the counters as a name→value map (sorted rendering is
@@ -54,6 +76,12 @@ func (c *counters) snapshot() map[string]int64 {
 		"refactorizations": c.Refactorizations.Load(),
 		"budget_exceeded":  c.BudgetExceeded.Load(),
 		"evictions":        c.Evictions.Load(),
+
+		"solve_ftran_ns":  c.SolveFtranNS.Load(),
+		"solve_btran_ns":  c.SolveBtranNS.Load(),
+		"solve_price_ns":  c.SolvePriceNS.Load(),
+		"solve_factor_ns": c.SolveFactorNS.Load(),
+		"solve_update_ns": c.SolveUpdateNS.Load(),
 
 		"observe_requests":       c.ObserveRequests.Load(),
 		"slices_ingested":        c.SlicesIngested.Load(),

@@ -34,6 +34,8 @@ func (oe *onlineEntry) tuningConflict(req *ObserveRequest, budget time.Duration)
 		return "decay"
 	case req.DriftThreshold != 0 && req.DriftThreshold != c.DriftThreshold:
 		return "drift_threshold"
+	case req.DriftZ != 0 && max(req.DriftZ, -1) != c.DriftZ:
+		return "drift_z"
 	case req.MinSlices != 0 && req.MinSlices != c.MinSlices:
 		return "min_slices"
 	case req.MinEvidence != 0 && req.MinEvidence != c.MinEvidence:
@@ -99,6 +101,7 @@ func (s *Server) onlineFor(e *modelEntry, req *ObserveRequest) (*onlineEntry, in
 		Memory:         req.Memory,
 		Decay:          req.Decay,
 		DriftThreshold: req.DriftThreshold,
+		DriftZ:         req.DriftZ,
 		MinSlices:      req.MinSlices,
 		MinEvidence:    req.MinEvidence,
 		CheckEvery:     req.CheckEvery,
@@ -161,6 +164,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if out.Refreshed {
 		s.stats.OnlineRefreshes.Add(1)
 		s.stats.Pivots.Add(int64(out.Pivots))
+		if out.Result != nil {
+			s.stats.Refactorizations.Add(int64(out.Result.LPRefactorizations))
+			s.stats.addSolveTimings(out.Result.LPTimings)
+		}
 		if out.Trigger == "drift" {
 			s.stats.OnlineDriftRefreshes.Add(1)
 		}

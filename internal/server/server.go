@@ -385,11 +385,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			if res != nil {
 				s.stats.Pivots.Add(int64(res.LPIterations))
 				s.stats.Refactorizations.Add(int64(res.LPRefactorizations))
+				s.stats.addSolveTimings(res.LPTimings)
 			}
 			return nil, err
 		}
 		s.stats.Pivots.Add(int64(res.LPIterations))
 		s.stats.Refactorizations.Add(int64(res.LPRefactorizations))
+		s.stats.addSolveTimings(res.LPTimings)
 		mode := "cold"
 		if res.WarmStarted {
 			mode = "warm"
@@ -554,6 +556,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 						s.stats.ColdSolves.Add(1)
 					}
 					s.stats.Refactorizations.Add(int64(p.Result.LPRefactorizations))
+					s.stats.addSolveTimings(p.Result.LPTimings)
 					// Each point is also a cacheable optimize answer: an
 					// optimize query at a swept bound becomes an exact hit,
 					// and the point's basis seeds future warm starts.

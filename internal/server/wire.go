@@ -270,6 +270,10 @@ type ObserveRequest struct {
 	// DriftThreshold is the max per-row total-variation distance between
 	// the estimate and the served SR before a re-solve (default 0.05).
 	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// DriftZ scales each row's trigger by its own sampling noise:
+	// re-solve when a row's TV exceeds drift_threshold + drift_z·SE(row).
+	// Default 2; negative disables the adaptive margin (global threshold).
+	DriftZ float64 `json:"drift_z,omitempty"`
 	// MinSlices gates the first solve (default 100 observed transitions).
 	MinSlices int `json:"min_slices,omitempty"`
 	// MinEvidence excludes rows with less decayed transition mass from the
