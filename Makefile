@@ -9,9 +9,9 @@ GO ?= go
 SHELL := bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build lint test bench serve smoke
+.PHONY: all build lint test bench serve smoke loadtest
 
-all: build lint test bench smoke
+all: build lint test bench smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -44,3 +44,15 @@ smoke:
 	$(GO) build -race -o bin/dpmserved ./cmd/dpmserved
 	$(GO) build -o bin/dpmfeed ./cmd/dpmfeed
 	./scripts/smoke.sh bin/dpmserved bin/dpmfeed
+
+# smoke plus a closed-loop load phase: dpmload drives mixed hit/warm/cold/
+# observe traffic at two concurrency levels against the race-instrumented
+# daemon with -require-p99, merges the measured req/s and p50/p90/p99 into
+# BENCH.json (LoadServed/conc=N entries, gated by cmd/benchtrend alongside
+# the solver headlines), and asserts traces stay retrievable under load.
+# Run after `make bench` so the merge lands in a fresh BENCH.json.
+loadtest:
+	$(GO) build -race -o bin/dpmserved ./cmd/dpmserved
+	$(GO) build -o bin/dpmfeed ./cmd/dpmfeed
+	$(GO) build -o bin/dpmload ./cmd/dpmload
+	BENCH_OUT=BENCH.json ./scripts/smoke.sh bin/dpmserved bin/dpmfeed bin/dpmload

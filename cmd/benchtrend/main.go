@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchtrend -old prev/BENCH.json [-new BENCH.json] [-max-ratio 2] \
-//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh] \
+//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed] \
 //	           [-min-ns 1e6]
 //
 // Bench names are prefix-matched against the report (so "LargeComposite"
@@ -24,6 +24,12 @@
 // higher). Stages below -min-stage-ms in the old record are skipped. This
 // localizes a wall-clock regression to the stage that caused it — and
 // catches a stage that blew up inside an otherwise-absorbed total.
+//
+// Entries that report serving latency quantiles (p50_ms, p90_ms, p99_ms —
+// the LoadServed/conc=N records merged by cmd/dpmload) are likewise gated
+// quantile by quantile with -max-quantile-ratio (default 2): a tail-latency
+// blowup fails CI even when mean ns/op absorbed it. Quantiles below
+// -min-quantile-ms in the old record are skipped as noise.
 package main
 
 import (
@@ -51,10 +57,12 @@ func main() {
 	oldPath := flag.String("old", "", "previous BENCH.json (required)")
 	newPath := flag.String("new", "BENCH.json", "current BENCH.json")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/old ns/op exceeds this")
-	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh", "comma-separated headline bench name prefixes")
+	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed", "comma-separated headline bench name prefixes")
 	minNS := flag.Float64("min-ns", 1e6, "ignore benches whose old ns/op is below this (too noisy at 1 iteration)")
 	maxStageRatio := flag.Float64("max-stage-ratio", 3.0, "fail when a per-stage solver timing (ftran_ms, …) exceeds this ratio")
 	minStageMS := flag.Float64("min-stage-ms", 50, "ignore stages whose old value is below this many ms")
+	maxQuantileRatio := flag.Float64("max-quantile-ratio", 2.0, "fail when a serving latency quantile (p50_ms, p90_ms, p99_ms) exceeds this ratio")
+	minQuantileMS := flag.Float64("min-quantile-ms", 0.2, "ignore quantiles whose old value is below this many ms")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchtrend: -old is required")
@@ -71,10 +79,12 @@ func main() {
 		os.Exit(2)
 	}
 	regressions, notes := compare(oldRep, newRep, strings.Split(*benches, ","), limits{
-		maxRatio:      *maxRatio,
-		minNS:         *minNS,
-		maxStageRatio: *maxStageRatio,
-		minStageMS:    *minStageMS,
+		maxRatio:         *maxRatio,
+		minNS:            *minNS,
+		maxStageRatio:    *maxStageRatio,
+		minStageMS:       *minStageMS,
+		maxQuantileRatio: *maxQuantileRatio,
+		minQuantileMS:    *minQuantileMS,
 	})
 	for _, n := range notes {
 		fmt.Println(n)
@@ -107,12 +117,18 @@ func key(e Entry) string { return e.Package + "\x00" + e.Name }
 // benchmarks (see lp.Timings for the stage partition).
 var stageMetrics = []string{"ftran_ms", "btran_ms", "price_ms", "factor_ms", "update_ms"}
 
+// quantileMetrics are the serving latency quantiles reported by the
+// load-generator entries (see internal/load.Result.BenchEntry).
+var quantileMetrics = []string{"p50_ms", "p90_ms", "p99_ms"}
+
 // limits bundles the comparison thresholds.
 type limits struct {
-	maxRatio      float64 // wall-clock ns/op gate
-	minNS         float64 // ns/op noise floor
-	maxStageRatio float64 // per-stage timing gate
-	minStageMS    float64 // per-stage noise floor, in ms
+	maxRatio         float64 // wall-clock ns/op gate
+	minNS            float64 // ns/op noise floor
+	maxStageRatio    float64 // per-stage timing gate
+	minStageMS       float64 // per-stage noise floor, in ms
+	maxQuantileRatio float64 // serving latency quantile gate
+	minQuantileMS    float64 // quantile noise floor, in ms
 }
 
 // compare returns the regression messages (new/old ns/op > maxRatio, or a
@@ -143,6 +159,26 @@ func compare(oldRep, newRep *Report, prefixes []string, lim limits) (regressions
 		if !ok {
 			notes = append(notes, fmt.Sprintf("benchtrend: %s: no previous record (new benchmark?)", e.Name))
 			continue
+		}
+		// Latency quantiles are gated before the ns/op noise floor applies:
+		// a p99 blowup matters even when the mean stays sub-millisecond.
+		for _, q := range quantileMetrics {
+			qb, ok := prev.Metrics[q]
+			if !ok || qb < lim.minQuantileMS {
+				continue
+			}
+			qc, ok := e.Metrics[q]
+			if !ok {
+				notes = append(notes, fmt.Sprintf("benchtrend: %s: %s no longer reported", e.Name, q))
+				continue
+			}
+			qr := qc / qb
+			qmsg := fmt.Sprintf("%s %s: %.3gms -> %.3gms (%.2fx)", e.Name, q, qb, qc, qr)
+			if qr > lim.maxQuantileRatio {
+				regressions = append(regressions, qmsg)
+			} else {
+				notes = append(notes, "benchtrend: "+qmsg)
+			}
 		}
 		base, ok := prev.Metrics["ns/op"]
 		if !ok || base <= 0 {

@@ -1,0 +1,202 @@
+// Command dpmload is a closed-loop load generator for dpmserved: it drives
+// a configurable mix of exact-hit, warm-start, cold-solve and observe
+// traffic at one or more concurrency levels and reports throughput and
+// latency quantiles measured with log-bucketed histograms (internal/load,
+// internal/obs). "Fast under traffic" becomes a measured claim: the results
+// merge into BENCH.json as LoadServed/conc=N entries, which benchtrend
+// gates across PRs like any other headline benchmark.
+//
+// Usage:
+//
+//	dpmload -url http://127.0.0.1:8080 [-model disk] [-conc 2,8] \
+//	        [-duration 5s | -requests 500] [-rate 0] \
+//	        [-mix hit=6,warm=2,cold=1,observe=1] [-timeout 30s] [-seed 1] \
+//	        [-bench-out BENCH.json] [-require-p99] [-q]
+//
+// Closed loop by default (each worker issues its next request when the
+// previous response lands); -rate R switches to an open loop with R
+// arrivals/s, shedding arrivals that find every worker busy. -conc runs the
+// whole load once per listed concurrency. -require-p99 exits nonzero unless
+// every run measured a positive p99 with zero request errors — the smoke
+// hook that keeps CI honest about the load phase having actually run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the dpmserved daemon")
+	model := flag.String("model", "disk", "target model id or registered name")
+	conc := flag.String("conc", "4", "comma-separated concurrency levels, one run each (e.g. 2,8)")
+	duration := flag.Duration("duration", 0, "per-run wall-clock bound (0: use -requests)")
+	requests := flag.Int("requests", 0, "per-run request bound (0: use -duration)")
+	rate := flag.Float64("rate", 0, "open-loop arrivals/s across all workers (0: closed loop)")
+	mixSpec := flag.String("mix", "", "traffic mix weights, e.g. hit=6,warm=2,cold=1,observe=1")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "rng seed (workers derive their own streams)")
+	benchOut := flag.String("bench-out", "", "merge results into this BENCH.json")
+	requireP99 := flag.Bool("require-p99", false, "exit nonzero unless every run has a positive p99 and zero errors")
+	quiet := flag.Bool("q", false, "suppress the per-kind breakdown")
+	flag.Parse()
+
+	if err := run(*url, *model, *conc, *duration, *requests, *rate, *mixSpec, *timeout, *seed, *benchOut, *requireP99, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "dpmload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, model, conc string, duration time.Duration, requests int, rate float64, mixSpec string, timeout time.Duration, seed int64, benchOut string, requireP99, quiet bool) error {
+	levels, err := parseLevels(conc)
+	if err != nil {
+		return err
+	}
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	if duration <= 0 && requests <= 0 {
+		duration = 5 * time.Second
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var entries []load.BenchEntry
+	for _, workers := range levels {
+		res, err := load.Run(ctx, load.Config{
+			BaseURL:     url,
+			Model:       model,
+			Workers:     workers,
+			Duration:    duration,
+			MaxRequests: requests,
+			Rate:        rate,
+			Mix:         mix,
+			Timeout:     timeout,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
+		}
+		report(res, quiet)
+		entries = append(entries, res.BenchEntry())
+		if requireP99 && (res.QuantileMS(0.99) <= 0 || res.Errors > 0) {
+			return fmt.Errorf("conc=%d: p99 %.3f ms with %d errors fails -require-p99",
+				workers, res.QuantileMS(0.99), res.Errors)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if benchOut != "" {
+		if err := load.MergeBench(benchOut, entries); err != nil {
+			return err
+		}
+		fmt.Printf("dpmload: merged %d entries into %s\n", len(entries), benchOut)
+	}
+	return nil
+}
+
+func report(r *load.Result, quiet bool) {
+	loop := "closed"
+	if r.OpenLoop {
+		loop = "open"
+	}
+	fmt.Printf("conc=%d %s-loop: %d requests in %.2fs  %.1f req/s  p50 %.3fms  p90 %.3fms  p99 %.3fms  errors %d",
+		r.Concurrency, loop, r.Requests, r.Elapsed.Seconds(), r.Throughput(),
+		r.QuantileMS(0.50), r.QuantileMS(0.90), r.QuantileMS(0.99), r.Errors)
+	if r.OpenLoop {
+		fmt.Printf("  shed %d", r.Shed)
+	}
+	fmt.Println()
+	if quiet {
+		return
+	}
+	kinds := make([]string, 0, len(r.Kinds))
+	for k, ks := range r.Kinds {
+		if ks.Requests > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := r.Kinds[k]
+		fmt.Printf("  %-8s %6d reqs  p50 %9.3fms  p99 %9.3fms  errors %d\n",
+			k, ks.Requests, ks.Latency.Quantile(0.50)/1e6, ks.Latency.Quantile(0.99)/1e6, ks.Errors)
+	}
+	if len(r.CacheModes) > 0 {
+		modes := make([]string, 0, len(r.CacheModes))
+		for m := range r.CacheModes {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		fmt.Printf("  cache:")
+		for _, m := range modes {
+			fmt.Printf(" %s=%d", m, r.CacheModes[m])
+		}
+		fmt.Println()
+	}
+}
+
+func parseLevels(spec string) ([]int, error) {
+	var levels []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid concurrency %q", f)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("no concurrency levels in %q", spec)
+	}
+	return levels, nil
+}
+
+func parseMix(spec string) (load.Mix, error) {
+	var m load.Mix
+	if spec == "" {
+		return m, nil // zero Mix selects the package default
+	}
+	for _, f := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return m, fmt.Errorf("mix term %q is not kind=weight", f)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix weight %q invalid", v)
+		}
+		switch k {
+		case load.KindHit:
+			m.Hit = w
+		case load.KindWarm:
+			m.Warm = w
+		case load.KindCold:
+			m.Cold = w
+		case load.KindObserve:
+			m.Observe = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q", k)
+		}
+	}
+	if m == (load.Mix{}) {
+		return m, fmt.Errorf("mix %q has no positive weights", spec)
+	}
+	return m, nil
+}

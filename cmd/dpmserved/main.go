@@ -6,7 +6,16 @@
 // Usage:
 //
 //	dpmserved [-addr :8080] [-cache 512] [-timeout 30s] [-max-timeout 2m] \
-//	          [-cache-file dpmserved.cache]
+//	          [-cache-file dpmserved.cache] [-debug-addr 127.0.0.1:6060] \
+//	          [-trace-buffer 256] [-access-log]
+//
+// Observability: every request is traced (spans for cache lookup, LP
+// build/patch, simplex solve with pivot and per-stage timing annotations);
+// the last -trace-buffer solver-facing traces are served on GET /v1/trace.
+// Latency/pivot histograms and counters are on /v1/stats (JSON) and
+// /metrics (Prometheus text format). -access-log emits one structured JSON
+// log line per request. -debug-addr serves net/http/pprof on a separate
+// listener (keep it on localhost; it is never exposed on -addr).
 //
 // The listening address is printed on startup ("dpmserved: listening on
 // http://HOST:PORT"), so -addr 127.0.0.1:0 works for scripted smoke tests.
@@ -26,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,15 +50,18 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 	cacheFile := flag.String("cache-file", "", "persist the warm-start basis cache here across restarts")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060)")
+	traceBuffer := flag.Int("trace-buffer", 256, "finished request traces retained for GET /v1/trace")
+	accessLog := flag.Bool("access-log", false, "log one structured JSON line per request to stderr")
 	flag.Parse()
 
-	if err := run(*addr, *cache, *timeout, *maxTimeout, *cacheFile); err != nil {
+	if err := run(*addr, *cache, *timeout, *maxTimeout, *cacheFile, *debugAddr, *traceBuffer, *accessLog); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cache int, timeout, maxTimeout time.Duration, cacheFile string) error {
+func run(addr string, cache int, timeout, maxTimeout time.Duration, cacheFile, debugAddr string, traceBuffer int, accessLog bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -57,9 +70,27 @@ func run(addr string, cache int, timeout, maxTimeout time.Duration, cacheFile st
 		DefaultTimeout: timeout,
 		MaxTimeout:     maxTimeout,
 		BaseContext:    ctx, // shutdown cancels in-flight solves mid-pivot
+		TraceBuffer:    traceBuffer,
+		AccessLog:      accessLog,
 	})
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		// pprof registers on http.DefaultServeMux via its import side
+		// effect; serving that mux on a second listener keeps the profiling
+		// surface off the public -addr.
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("dpmserved: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "dpmserved: debug server: %v\n", err)
+			}
+		}()
+		defer dln.Close()
 	}
 	if cacheFile != "" {
 		// The cache is an accelerator: a missing or unloadable file starts

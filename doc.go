@@ -60,8 +60,9 @@
 //     restarts (-cache-file).
 //     Endpoints: POST /v1/models, GET /v1/models,
 //     POST /v1/models/{id}/observe, POST /v1/optimize, POST /v1/sweep,
-//     GET /v1/healthz, GET /v1/stats, GET /metrics — see the README's
-//     "Serving mode" section for curl examples and cache semantics;
+//     GET /v1/healthz, GET /v1/stats, GET /metrics, GET /v1/trace — see
+//     the README's "Serving mode" section for curl examples and cache
+//     semantics;
 //   - internal/online — the streaming adaptation subsystem behind the
 //     observe endpoint: an incremental exponentially-decayed form of the
 //     trace extractor (O(1) per slice), a drift controller comparing the
@@ -69,6 +70,18 @@
 //     distance, and drift-triggered re-solves that revise the resident LP
 //     in place (core.PatchFrequencyLP) and warm-start from the previous
 //     optimal basis under a bounded solve budget;
+//   - internal/obs — the observability layer threaded through
+//     server → core → lp → online: per-request span traces carried on
+//     context.Context (cache lookup, LP build/patch, solve with pivot and
+//     per-stage timing annotations; last-N retrieval via GET /v1/trace),
+//     lock-cheap log-bucketed latency/pivot histograms exported with
+//     p50/p90/p99 on /v1/stats and as Prometheus histogram series on
+//     /metrics, and structured slog-based debug logging that the
+//     env-gated LPDEBUG/LUDEBUG streams route through;
+//   - internal/load — the closed-/open-loop load generator behind
+//     cmd/dpmload, driving mixed exact-hit/warm/cold/observe traffic and
+//     merging measured req/s and latency quantiles into BENCH.json as
+//     LoadServed entries gated by cmd/benchtrend;
 //   - internal/experiments — one runner per paper table/figure.
 //
 // A minimal end-to-end use:

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // Objective selects the metric to optimize and the direction. PO1 minimizes
@@ -150,7 +152,12 @@ func Optimize(m *Model, opts Options) (*Result, error) {
 // returns a Result with Status lp.Cancelled and an error satisfying
 // errors.Is against context.Canceled or context.DeadlineExceeded.
 func OptimizeCtx(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	_, sp := obs.StartSpan(ctx, "build")
 	prob, err := BuildFrequencyLP(m, opts)
+	if prob != nil {
+		sp.Set("vars", prob.NumVars())
+	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +194,15 @@ func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Pr
 		return nil, err
 	}
 
-	sol, basis, err := opts.lpSolver().Solve(ctx, prob, opts.WarmBasis)
+	solveCtx, sp := obs.StartSpan(ctx, "solve")
+	sol, basis, err := opts.lpSolver().Solve(solveCtx, prob, opts.WarmBasis)
+	sp.Set("status", sol.Status.String())
+	sp.Set("pivots", sol.Iterations)
+	sp.Set("refactorizations", sol.Refactorizations)
+	sp.Set("factor_nnz", sol.FactorNNZ)
+	sp.Set("warm", sol.WarmStarted)
+	annotateTimings(sp, sol.Timings)
+	sp.End()
 	res := &Result{
 		Status:             sol.Status,
 		LPIterations:       sol.Iterations,
@@ -207,6 +222,8 @@ func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Pr
 	}
 
 	// Frequencies and policy extraction (Eq. 16).
+	_, ex := obs.StartSpan(ctx, "extract")
+	defer ex.End()
 	freq := mat.NewMatrix(m.N, m.A)
 	copy(freq.Data, sol.X)
 	pol := mat.NewMatrix(m.N, m.A)
@@ -255,6 +272,21 @@ func OptimizeProblemCtx(ctx context.Context, m *Model, opts Options, prob *lp.Pr
 		res.Eval = ev
 	}
 	return res, nil
+}
+
+// annotateTimings attaches the solver's per-stage wall-clock breakdown to
+// the solve span, in milliseconds, mirroring the stage keys the benchmarks
+// report (ftran_ms, btran_ms, price_ms, factor_ms, update_ms).
+func annotateTimings(sp *obs.Span, t lp.Timings) {
+	if sp == nil || t.Total() == 0 {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	sp.Set("ftran_ms", ms(t.Ftran))
+	sp.Set("btran_ms", ms(t.Btran))
+	sp.Set("price_ms", ms(t.Price))
+	sp.Set("factor_ms", ms(t.Factor))
+	sp.Set("update_ms", ms(t.Update))
 }
 
 // BuildFrequencyLP assembles the state–action frequency linear program of

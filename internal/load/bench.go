@@ -1,0 +1,96 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// BenchEntry mirrors one cmd/benchjson benchmark record, so load results
+// merge into the same BENCH.json document CI tracks across PRs.
+type BenchEntry struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchReport mirrors the BENCH.json document shape.
+type BenchReport struct {
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// benchPackage namespaces load entries in BENCH.json.
+const benchPackage = "repro/cmd/dpmload"
+
+// BenchEntry renders the run as one benchmark entry named
+// "LoadServed/conc=N" (no Benchmark prefix — benchjson strips it from `go
+// test` output, so merged names match). ns/op is the mean request latency;
+// the headline serving metrics are req_per_s and the latency quantiles in
+// milliseconds.
+func (r *Result) BenchEntry() BenchEntry {
+	e := BenchEntry{
+		Package:    benchPackage,
+		Name:       fmt.Sprintf("LoadServed/conc=%d", r.Concurrency),
+		Iterations: r.Requests,
+		Metrics: map[string]float64{
+			"ns/op":     r.Latency.Mean(),
+			"req_per_s": r.Throughput(),
+			"p50_ms":    r.QuantileMS(0.50),
+			"p90_ms":    r.QuantileMS(0.90),
+			"p99_ms":    r.QuantileMS(0.99),
+			"errors":    float64(r.Errors),
+		},
+	}
+	if r.OpenLoop {
+		e.Name += "/open"
+		e.Metrics["shed"] = float64(r.Shed)
+	}
+	return e
+}
+
+// MergeBench folds entries into the BENCH.json document at path: an entry
+// replaces any existing benchmark with the same package and name, the rest
+// of the document is preserved, and the result stays sorted the way
+// benchjson writes it. A missing file starts an empty report.
+func MergeBench(path string, entries []BenchEntry) error {
+	var report BenchReport
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("load: parsing %s: %w", path, err)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+	default:
+		return err
+	}
+	for _, e := range entries {
+		replaced := false
+		for i := range report.Benchmarks {
+			if report.Benchmarks[i].Package == e.Package && report.Benchmarks[i].Name == e.Name {
+				report.Benchmarks[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			report.Benchmarks = append(report.Benchmarks, e)
+		}
+	}
+	sort.Slice(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

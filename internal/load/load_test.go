@@ -1,0 +1,180 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func testServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{CacheSize: 256})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestClosedLoopRun drives the full default mix request-bounded against an
+// in-process server and checks the accounting adds up.
+func TestClosedLoopRun(t *testing.T) {
+	base := testServer(t)
+	const want = 60
+	res, err := Run(context.Background(), Config{
+		BaseURL:     base,
+		Model:       "disk",
+		Workers:     3,
+		MaxRequests: want,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Requests != want {
+		t.Fatalf("completed %d requests, want %d", res.Requests, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors (first-class traffic against a healthy server)", res.Errors)
+	}
+	if res.Latency.Count() != want {
+		t.Errorf("latency histogram holds %d observations, want %d", res.Latency.Count(), want)
+	}
+	var kindTotal int64
+	for _, ks := range res.Kinds {
+		kindTotal += ks.Requests
+		if ks.Requests != ks.Latency.Count() {
+			t.Errorf("kind accounting mismatch: %d requests, %d latencies", ks.Requests, ks.Latency.Count())
+		}
+	}
+	if kindTotal != want {
+		t.Errorf("per-kind requests sum to %d, want %d", kindTotal, want)
+	}
+	if res.Kinds[KindHit].Requests == 0 {
+		t.Errorf("default mix issued no hit traffic")
+	}
+	// The hit stream collapses onto one fingerprint: most of it is served
+	// from cache.
+	if res.CacheModes["hit"] == 0 {
+		t.Errorf("no exact hits observed in %v", res.CacheModes)
+	}
+	if res.QuantileMS(0.99) <= 0 || res.Throughput() <= 0 {
+		t.Errorf("degenerate measurement: p99 %g ms, %g req/s", res.QuantileMS(0.99), res.Throughput())
+	}
+	if res.QuantileMS(0.5) > res.QuantileMS(0.99) {
+		t.Errorf("p50 %g > p99 %g", res.QuantileMS(0.5), res.QuantileMS(0.99))
+	}
+}
+
+// TestOpenLoopRun: with Rate set, arrivals are scheduled rather than
+// completion-driven, and overload is shed instead of queued.
+func TestOpenLoopRun(t *testing.T) {
+	base := testServer(t)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  base,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Rate:     200,
+		Mix:      Mix{Hit: 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.OpenLoop {
+		t.Fatalf("open-loop run not flagged")
+	}
+	if res.Requests == 0 {
+		t.Fatalf("no requests completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Errorf("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
+		t.Errorf("unbounded run accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", MaxRequests: 1, Mix: Mix{Hit: -1, Warm: 1}}); err == nil {
+		t.Errorf("non-positive mix accepted")
+	}
+}
+
+// TestBenchEntryAndMerge: results render as benchjson-compatible entries
+// and merge into an existing BENCH.json without disturbing other entries.
+func TestBenchEntryAndMerge(t *testing.T) {
+	base := testServer(t)
+	res, err := Run(context.Background(), Config{
+		BaseURL:     base,
+		Workers:     2,
+		MaxRequests: 10,
+		Mix:         Mix{Hit: 1},
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e := res.BenchEntry()
+	if e.Name != "LoadServed/conc=2" {
+		t.Errorf("entry name %q", e.Name)
+	}
+	for _, m := range []string{"ns/op", "req_per_s", "p50_ms", "p90_ms", "p99_ms", "errors"} {
+		if _, ok := e.Metrics[m]; !ok {
+			t.Errorf("entry missing metric %q", m)
+		}
+	}
+	if e.Metrics["p99_ms"] <= 0 || e.Metrics["req_per_s"] <= 0 {
+		t.Errorf("degenerate metrics %v", e.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	seed := BenchReport{Benchmarks: []BenchEntry{
+		{Package: "repro/internal/core", Name: "OptimizeDisk", Iterations: 1, Metrics: map[string]float64{"ns/op": 123}},
+		{Package: benchPackage, Name: "LoadServed/conc=2", Iterations: 1, Metrics: map[string]float64{"ns/op": 1, "p99_ms": 9999}},
+	}}
+	data, _ := json.Marshal(&seed)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeBench(path, []BenchEntry{e}); err != nil {
+		t.Fatalf("MergeBench: %v", err)
+	}
+	var got BenchReport
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("merged file unparseable: %v", err)
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("%d entries after merge, want 2 (replace, not append)", len(got.Benchmarks))
+	}
+	byName := make(map[string]BenchEntry)
+	for _, b := range got.Benchmarks {
+		byName[b.Name] = b
+	}
+	if b, ok := byName["OptimizeDisk"]; !ok || b.Metrics["ns/op"] != 123 {
+		t.Errorf("unrelated entry disturbed: %+v", byName)
+	}
+	if byName["LoadServed/conc=2"].Metrics["p99_ms"] == 9999 {
+		t.Errorf("stale LoadServed entry survived the merge")
+	}
+
+	// Merging into a missing file starts a fresh report.
+	fresh := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := MergeBench(fresh, []BenchEntry{e}); err != nil {
+		t.Fatalf("MergeBench (fresh): %v", err)
+	}
+}

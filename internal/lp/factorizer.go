@@ -17,8 +17,17 @@ package lp
 //     ~800 MB, the sparse one a few million and a few MB.
 
 import (
+	"context"
+
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
+
+// ctxAware lets a kernel receive the solve context without widening the
+// Factorizer interface: LUDEBUG diagnostics emitted deep inside
+// mat.SparseLU then carry the owning request's trace ID instead of
+// interleaving anonymously with other solves.
+type ctxAware interface{ setContext(ctx context.Context) }
 
 // Factorizer is the strategy interface for the simplex basis kernel: it
 // maintains a factorization of the m×m basis matrix B across pivots.
@@ -154,8 +163,9 @@ func (f *denseFactorizer) NNZ() int { return f.m * f.m }
 // replacements. tau is the pivot threshold (raised in conservative mode to
 // favor stability over sparsity).
 type sparseFactorizer struct {
-	tau float64
-	f   *mat.SparseLU
+	tau    float64
+	f      *mat.SparseLU
+	debugf func(format string, args ...any) // context-bound LUDEBUG sink, set via setContext
 }
 
 func newSparseFactorizer(conservative bool) *sparseFactorizer {
@@ -166,6 +176,13 @@ func newSparseFactorizer(conservative bool) *sparseFactorizer {
 	return &sparseFactorizer{tau: tau}
 }
 
+func (s *sparseFactorizer) setContext(ctx context.Context) {
+	s.debugf = func(format string, args ...any) { obs.Debugf(ctx, "lu", format, args...) }
+	if s.f != nil {
+		s.f.Debugf = s.debugf
+	}
+}
+
 func (s *sparseFactorizer) Refactor(a *mat.CSC, basis []int) error {
 	f, err := mat.FactorColumns(len(basis), func(i int) ([]int, []float64) {
 		return a.ColNZ(basis[i])
@@ -173,6 +190,7 @@ func (s *sparseFactorizer) Refactor(a *mat.CSC, basis []int) error {
 	if err != nil {
 		return err
 	}
+	f.Debugf = s.debugf
 	s.f = f
 	return nil
 }

@@ -23,15 +23,17 @@ package lp
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"os"
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
-// lpDebug gates per-refactorization tracing to stderr (LPDEBUG=1).
+// lpDebug gates per-refactorization tracing (LPDEBUG=1). Lines go through
+// the obs structured logger on the solve context, so under the daemon they
+// carry the originating request's trace ID.
 var lpDebug = os.Getenv("LPDEBUG") != ""
 
 // revised is the solver state for one solve.
@@ -136,6 +138,9 @@ func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverC
 		}
 	} else {
 		r.fact = newDenseFactorizer()
+	}
+	if ca, ok := r.fact.(ctxAware); ok {
+		ca.setContext(ctx)
 	}
 
 	r.pool = newWorkPool(resolveWorkers(cfg.pricingWorkers))
@@ -259,12 +264,12 @@ func (r *revised) refactor() bool {
 	defer func() { r.tm.Factor += time.Since(t0) }()
 	if err := r.fact.Refactor(r.sf.a, r.basis); err != nil {
 		if lpDebug {
-			fmt.Fprintf(os.Stderr, "lpdebug: refactor %d iter %d FAILED: %v\n", r.refactors, r.iterations, err)
+			obs.Debugf(r.ctx, "lp", "refactor %d iter %d FAILED: %v", r.refactors, r.iterations, err)
 		}
 		return false
 	}
 	if lpDebug {
-		fmt.Fprintf(os.Stderr, "lpdebug: refactor %d iter %d nnz %d took %v\n", r.refactors, r.iterations, r.fact.NNZ(), time.Since(t0))
+		obs.Debugf(r.ctx, "lp", "refactor %d iter %d nnz %d took %v", r.refactors, r.iterations, r.fact.NNZ(), time.Since(t0))
 	}
 	r.needRefactor = false
 	xb := r.fact.Ftran(r.bWork.Clone())
@@ -597,7 +602,7 @@ func (r *revised) pivotUpdate(row, col int, w *mat.SpVec) {
 	rows, vals := r.sf.a.ColNZ(col)
 	if err := r.fact.Update(row, w.Val, rows, vals); err != nil {
 		if lpDebug {
-			fmt.Fprintf(os.Stderr, "lpdebug: update unstable iter %d pivot %g theta %g\n", r.iterations, w.Val[row], theta)
+			obs.Debugf(r.ctx, "lp", "update unstable iter %d pivot %g theta %g", r.iterations, w.Val[row], theta)
 		}
 		r.needRefactor = true
 	}
@@ -757,7 +762,7 @@ func (r *revised) solve() (sol *Solution) {
 		for {
 			st := r.runPhase(r.sf.cost1, r.sf.nTot)
 			if lpDebug {
-				fmt.Fprintf(os.Stderr, "lpdebug: phase1 status %v at iter %d (perturbed %v)\n", st, r.iterations, r.perturbed)
+				obs.Debugf(r.ctx, "lp", "phase1 status %v at iter %d (perturbed %v)", st, r.iterations, r.perturbed)
 			}
 			if st != Optimal {
 				// Phase 1 is never unbounded in exact arithmetic; treat it as
@@ -821,7 +826,7 @@ func (r *revised) phase2() *Solution {
 		}
 		st := r.runPhase(r.sf.cost2, r.sf.nv+r.sf.ns)
 		if lpDebug {
-			fmt.Fprintf(os.Stderr, "lpdebug: phase2 attempt %d status %v at iter %d (perturbed %v)\n", attempt, st, r.iterations, r.perturbed)
+			obs.Debugf(r.ctx, "lp", "phase2 attempt %d status %v at iter %d (perturbed %v)", attempt, st, r.iterations, r.perturbed)
 		}
 		if st != Optimal {
 			sol.Status = st

@@ -42,15 +42,24 @@ import (
 	"fmt"
 	"math"
 	"os"
+
+	"repro/internal/obs"
 )
 
-// luDebug gates update-rejection tracing to stdout (LUDEBUG=1).
+// luDebug gates update-rejection tracing (LUDEBUG=1). Output goes through
+// the structured obs logger; when the owning solver installs a Debugf hook
+// the lines additionally carry that solve's trace and request IDs.
 var luDebug = os.Getenv("LUDEBUG") != ""
 
 // SparseLU holds a sparse LU factorization of a square matrix, ready to
 // solve B x = b and Bᵀ y = c and to absorb Forrest–Tomlin column updates.
 // Create with FactorColumns.
 type SparseLU struct {
+	// Debugf, when non-nil, receives LUDEBUG-gated trace lines. The LP layer
+	// installs a context-bound hook here so kernel diagnostics carry the
+	// request's trace ID; unset, lines fall back to the plain obs logger.
+	Debugf func(format string, args ...any)
+
 	n int
 
 	// V rows, by original row id.
@@ -684,6 +693,16 @@ func (f *SparseLU) valueAt(r, c int) (float64, bool) {
 // afterwards; the caller must refactorize from the updated basis.
 var ErrUpdateUnstable = fmt.Errorf("mat: Forrest–Tomlin update numerically unstable")
 
+// debugf routes an LUDEBUG line through the installed Debugf hook, or the
+// plain structured logger when no hook is set.
+func (f *SparseLU) debugf(format string, args ...any) {
+	if f.Debugf != nil {
+		f.Debugf(format, args...)
+		return
+	}
+	obs.Debugf(nil, "lu", format, args...)
+}
+
 // Update replaces the basis column at slot with the sparse column given by
 // (rows, vals) and restores triangularity with one Forrest–Tomlin step: the
 // column's partial-FTRAN spike replaces the leaving column of V, the spiked
@@ -786,7 +805,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 		diag, ok := f.valueAt(pr, c)
 		if !ok || diag == 0 {
 			if luDebug {
-				fmt.Printf("ludebug: update reject missing diag at pos %d\n", p)
+				f.debugf("update reject missing diag at pos %d", p)
 			}
 			f.clearScatter(touched)
 			f.utouch = touched
@@ -817,7 +836,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 	// the spike, and the elimination multipliers must not have exploded.
 	if newDiag == 0 || math.Abs(newDiag) < 1e-11*(spikeMax+1e-300) || growth > 1e8 {
 		if luDebug {
-			fmt.Printf("ludebug: update reject newDiag %g spikeMax %g growth %g etas %d\n", newDiag, spikeMax, growth, len(f.etas))
+			f.debugf("update reject newDiag %g spikeMax %g growth %g etas %d", newDiag, spikeMax, growth, len(f.etas))
 		}
 		return ErrUpdateUnstable
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Config tunes an Adapter. The zero value of any field selects the
@@ -248,16 +249,23 @@ func (a *Adapter) Observe(ctx context.Context, counts []int) (*Outcome, error) {
 // served policy untouched.
 func (a *Adapter) refresh(ctx context.Context, out *Outcome, trigger string) {
 	out.Trigger = trigger
+	ctx, rsp := obs.StartSpan(ctx, "refresh")
+	rsp.Set("trigger", trigger)
+	defer rsp.End()
 	fail := func(err error) {
 		a.stats.FailedRefreshes++
 		out.RefreshErr = err
+		rsp.Set("error", err.Error())
 	}
+	_, esp := obs.StartSpan(ctx, "estimate")
 	sr, err := a.est.SR("online-estimate")
 	if err != nil {
+		esp.End()
 		fail(err)
 		return
 	}
 	sys, err := a.rebuild(sr)
+	esp.End()
 	if err != nil {
 		fail(fmt.Errorf("online: rebuilding system: %w", err))
 		return
@@ -270,16 +278,21 @@ func (a *Adapter) refresh(ctx context.Context, out *Outcome, trigger string) {
 	// nothing served to callers aliases it (Result owns its tables).
 	model := a.model
 	if model != nil {
+		_, sp := obs.StartSpan(ctx, "patch-model")
 		if err := core.PatchModel(model, sys); err == nil {
 			out.ModelPatched = true
 			a.stats.ModelPatched++
 		} else {
 			model = nil // pattern or shape moved: recompile below
+			sp.Set("fallback", "rebuild")
 		}
+		sp.End()
 	}
 	if model == nil {
+		_, sp := obs.StartSpan(ctx, "build-model")
 		var err error
 		model, err = sys.Build()
+		sp.End()
 		if err != nil {
 			fail(fmt.Errorf("online: compiling model: %w", err))
 			return
@@ -287,15 +300,20 @@ func (a *Adapter) refresh(ctx context.Context, out *Outcome, trigger string) {
 		a.stats.ModelRebuilt++
 	}
 	if a.prob != nil {
+		_, sp := obs.StartSpan(ctx, "patch-lp")
 		if err := core.PatchFrequencyLP(a.prob, model, a.opts); err == nil {
 			out.Patched = true
 			a.stats.LPPatched++
 		} else {
 			a.prob = nil // pattern or shape moved: reassemble below
+			sp.Set("fallback", "rebuild")
 		}
+		sp.End()
 	}
 	if a.prob == nil {
+		_, sp := obs.StartSpan(ctx, "build-lp")
 		prob, err := core.BuildFrequencyLP(model, a.opts)
+		sp.End()
 		if err != nil {
 			fail(fmt.Errorf("online: assembling LP: %w", err))
 			return

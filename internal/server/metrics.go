@@ -1,12 +1,11 @@
 package server
 
 import (
-	"fmt"
-	"io"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // counters is the server's observability surface: monotone counters over
@@ -94,20 +93,55 @@ func (c *counters) snapshot() map[string]int64 {
 	}
 }
 
-// writeProm renders the counters (plus caller-supplied gauges such as cache
-// and registry sizes) in Prometheus text exposition format, with a stable
-// name order, under the dpmserved_ prefix.
-func (c *counters) writeProm(w io.Writer, gauges map[string]int64) {
-	emit := func(vals map[string]int64, typ string) {
-		names := make([]string, 0, len(vals))
-		for k := range vals {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		for _, k := range names {
-			fmt.Fprintf(w, "# TYPE dpmserved_%s %s\ndpmserved_%s %d\n", k, typ, k, vals[k])
-		}
+// promHelp supplies the # HELP text for each counter on /metrics. The
+// snapshot keys (the /v1/stats JSON names) stay as they are; the exposition
+// appends the conventional _total suffix.
+var promHelp = map[string]string{
+	"requests":         "HTTP requests across all endpoints.",
+	"optimize_queries": "POST /v1/optimize bodies accepted.",
+	"sweep_queries":    "POST /v1/sweep bodies accepted.",
+	"exact_hits":       "Queries answered from the result cache without a solve.",
+	"warm_solves":      "Solves that reused a cached warm-start basis.",
+	"cold_solves":      "Solves from scratch.",
+	"shared_solves":    "Queries deduplicated onto an in-flight solve.",
+	"infeasible":       "Solves that proved the constraint set infeasible.",
+	"cancelled_solves": "Solves aborted by deadline or client detach.",
+	"pivots":           "Simplex pivots performed across all solves.",
+	"refactorizations": "Basis refactorizations across all solves.",
+	"budget_exceeded":  "Solves stopped by a client pivot budget.",
+	"evictions":        "Cache entries evicted by the LRU.",
+
+	"solve_ftran_ns":  "Cumulative solver FTRAN wall clock, nanoseconds.",
+	"solve_btran_ns":  "Cumulative solver BTRAN wall clock, nanoseconds.",
+	"solve_price_ns":  "Cumulative solver pricing wall clock, nanoseconds.",
+	"solve_factor_ns": "Cumulative basis refactorization wall clock, nanoseconds.",
+	"solve_update_ns": "Cumulative basis update wall clock, nanoseconds.",
+
+	"observe_requests":       "Observe bodies accepted.",
+	"slices_ingested":        "Workload slices fed to streaming estimators.",
+	"online_refreshes":       "Policies installed by the drift controller.",
+	"online_drift_refreshes": "Refreshes triggered by measured drift.",
+	"online_patched":         "Refreshes that revised the LP in place.",
+	"online_rebuilt":         "Refreshes that reassembled the LP.",
+	"online_warm":            "Refreshes whose solve reused the previous basis.",
+	"online_failed":          "Refresh attempts that kept the old policy.",
+}
+
+// writeProm renders the counters in Prometheus text exposition format under
+// the dpmserved_ prefix, lint-clean: stable name order, one HELP/TYPE pair
+// per family, counters carrying the _total suffix.
+func (c *counters) writeProm(p *obs.PromWriter) {
+	snap := c.snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
 	}
-	emit(c.snapshot(), "counter")
-	emit(gauges, "gauge")
+	sort.Strings(names)
+	for _, k := range names {
+		help := promHelp[k]
+		if help == "" {
+			help = "Cumulative count."
+		}
+		p.Counter("dpmserved_"+k+"_total", help, float64(snap[k]))
+	}
 }

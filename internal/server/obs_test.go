@@ -1,0 +1,439 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// ---- Prometheus text-format mini parser ----
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+)
+
+type promFamily struct {
+	typ     string
+	help    bool
+	samples []promSample
+}
+
+type promSample struct {
+	name   string // full sample name (may carry _bucket/_sum/_count)
+	labels string
+	value  float64
+}
+
+// parseProm validates the exposition shape while parsing: HELP and TYPE
+// precede every family's samples, names are legal, sample values parse.
+func parseProm(t *testing.T, body string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	get := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{}
+			fams[name] = f
+		}
+		return f
+	}
+	// baseOf strips a histogram sample suffix back to its family name.
+	baseOf := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					return base
+				}
+			}
+		}
+		return name
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !promNameRe.MatchString(name) {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			f := get(name)
+			if f.help || f.typ != "" || len(f.samples) > 0 {
+				t.Fatalf("HELP for %s repeated or out of order", name)
+			}
+			f.help = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || !promNameRe.MatchString(name) {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			f := get(name)
+			if !f.help {
+				t.Fatalf("TYPE for %s without preceding HELP", name)
+			}
+			if f.typ != "" || len(f.samples) > 0 {
+				t.Fatalf("TYPE for %s repeated or after samples", name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := m[1]
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil && m[4] != "+Inf" && m[4] != "-Inf" && m[4] != "NaN" {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		fam := baseOf(name)
+		f, ok := fams[fam]
+		if !ok || f.typ == "" {
+			t.Fatalf("sample %q before its family's HELP/TYPE", line)
+		}
+		f.samples = append(f.samples, promSample{name: name, labels: m[3], value: v})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning exposition: %v", err)
+	}
+	return fams
+}
+
+// leOf extracts the le label value from a bucket sample's label list.
+func leOf(t *testing.T, labels string) float64 {
+	t.Helper()
+	for _, kv := range strings.Split(labels, ",") {
+		k, v, _ := strings.Cut(kv, "=")
+		if k != "le" {
+			continue
+		}
+		v = strings.Trim(v, `"`)
+		if v == "+Inf" {
+			return math.Inf(1)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("bucket le %q: %v", v, err)
+		}
+		return f
+	}
+	t.Fatalf("bucket sample without le label: %q", labels)
+	return 0
+}
+
+// stripLE removes the le pair so buckets group by their remaining labels.
+func stripLE(labels string) string {
+	var kept []string
+	for _, kv := range strings.Split(labels, ",") {
+		if !strings.HasPrefix(kv, "le=") {
+			kept = append(kept, kv)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// checkHistogram validates one histogram family: per label set, cumulative
+// non-decreasing buckets with strictly increasing le, +Inf last and equal
+// to _count, and a _sum sample present.
+func checkHistogram(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	type series struct {
+		les    []float64
+		counts []float64
+		sum    bool
+		count  float64
+		hasCnt bool
+	}
+	byLabel := make(map[string]*series)
+	get := func(labels string) *series {
+		s, ok := byLabel[labels]
+		if !ok {
+			s = &series{}
+			byLabel[labels] = s
+		}
+		return s
+	}
+	for _, sm := range f.samples {
+		switch sm.name {
+		case name + "_bucket":
+			s := get(stripLE(sm.labels))
+			s.les = append(s.les, leOf(t, sm.labels))
+			s.counts = append(s.counts, sm.value)
+		case name + "_sum":
+			get(sm.labels).sum = true
+		case name + "_count":
+			s := get(sm.labels)
+			s.count = sm.value
+			s.hasCnt = true
+		default:
+			t.Errorf("%s: stray sample %q in histogram family", name, sm.name)
+		}
+	}
+	if len(byLabel) == 0 {
+		t.Fatalf("%s: histogram family with no series", name)
+	}
+	for labels, s := range byLabel {
+		if len(s.les) == 0 || !s.sum || !s.hasCnt {
+			t.Fatalf("%s{%s}: incomplete series (buckets %d, sum %v, count %v)", name, labels, len(s.les), s.sum, s.hasCnt)
+		}
+		for i := 1; i < len(s.les); i++ {
+			if s.les[i] <= s.les[i-1] {
+				t.Errorf("%s{%s}: le not increasing at %d (%g after %g)", name, labels, i, s.les[i], s.les[i-1])
+			}
+			if s.counts[i] < s.counts[i-1] {
+				t.Errorf("%s{%s}: bucket counts not cumulative at %d", name, labels, i)
+			}
+		}
+		if last := s.les[len(s.les)-1]; !math.IsInf(last, 1) {
+			t.Errorf("%s{%s}: last bucket le=%g, want +Inf", name, labels, last)
+		}
+		if inf := s.counts[len(s.counts)-1]; inf != s.count {
+			t.Errorf("%s{%s}: +Inf bucket %g != _count %g", name, labels, inf, s.count)
+		}
+	}
+}
+
+// TestMetricsPrometheusLint drives real traffic, then validates the full
+// /metrics exposition: parseable, HELP/TYPE before samples, counters with
+// _total suffixes, well-formed cumulative histograms, and values matching
+// /v1/stats.
+func TestMetricsPrometheusLint(t *testing.T) {
+	_, base := newTestServer(t)
+	req := OptimizeRequest{
+		Model:  "disk",
+		Bounds: []BoundSpec{{Metric: "penalty", Rel: "<=", Value: 1.5}},
+	}
+	var or OptimizeResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", req, &or); st != http.StatusOK || !or.Feasible {
+		t.Fatalf("optimize: status %d %+v", st, or)
+	}
+	if st := call(t, http.MethodPost, base+"/v1/optimize", req, &or); st != http.StatusOK || or.Cache != "hit" {
+		t.Fatalf("repeat optimize: status %d cache %q", st, or.Cache)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	fams := parseProm(t, body)
+
+	for name, f := range fams {
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %s lacks the _total suffix", name)
+			}
+		case "gauge":
+		case "histogram":
+			checkHistogram(t, name, f)
+		default:
+			t.Errorf("family %s has unknown type %q", name, f.typ)
+		}
+	}
+
+	// The served counters show up with real traffic behind them.
+	find := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %s missing from /metrics", name)
+		}
+		return f
+	}
+	if f := find("dpmserved_exact_hits_total"); f.samples[0].value != 1 {
+		t.Errorf("exact_hits_total = %g, want 1", f.samples[0].value)
+	}
+	if f := find("dpmserved_pivots_total"); f.samples[0].value <= 0 {
+		t.Errorf("pivots_total = %g, want > 0", f.samples[0].value)
+	}
+	find("dpmserved_request_duration_seconds")
+	find("dpmserved_solve_stage_duration_seconds")
+	if f := find("dpmserved_solve_pivots"); f.typ != "histogram" {
+		t.Errorf("solve_pivots type %q", f.typ)
+	}
+	// Per-endpoint counter series carry endpoint labels.
+	epf := find("dpmserved_endpoint_requests_total")
+	found := false
+	for _, sm := range epf.samples {
+		if strings.Contains(sm.labels, `endpoint="optimize"`) && sm.value == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("endpoint_requests_total{endpoint=optimize} != 2 in:\n%v", epf.samples)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestTraceRetrieval: a solved optimize query's trace is retrievable from
+// GET /v1/trace by the X-Trace-Id the response carried, with cache, build
+// and solve spans whose durations are consistent with the request total.
+func TestTraceRetrieval(t *testing.T) {
+	_, base := newTestServer(t)
+	req := OptimizeRequest{
+		Model:  "disk",
+		Bounds: []BoundSpec{{Metric: "penalty", Rel: "<=", Value: 1.7}},
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/optimize", strings.NewReader(
+		`{"model":"disk","bounds":[{"metric":"penalty","rel":"<=","value":1.7}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("X-Request-Id", "it-87")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatalf("response missing X-Trace-Id")
+	}
+
+	var tj obs.TraceJSON
+	if st := call(t, http.MethodGet, base+"/v1/trace?id="+traceID, nil, &tj); st != http.StatusOK {
+		t.Fatalf("trace fetch status %d", st)
+	}
+	if tj.ID != traceID || tj.Request != "it-87" {
+		t.Fatalf("trace identity %q/%q, want %q/it-87", tj.ID, tj.Request, traceID)
+	}
+	if tj.Attrs["endpoint"] != "optimize" || tj.Attrs["cache"] != "cold" {
+		t.Errorf("trace attrs %v, want endpoint=optimize cache=cold", tj.Attrs)
+	}
+	spans := make(map[string]obs.SpanJSON)
+	sum := 0.0
+	for _, sp := range tj.Spans {
+		spans[sp.Name] = sp
+		sum += sp.DurMS
+	}
+	for _, name := range []string{"cache", "build", "solve"} {
+		if _, ok := spans[name]; !ok {
+			t.Fatalf("trace lacks %q span; has %v", name, tj.Spans)
+		}
+	}
+	if pv, ok := spans["solve"].Attrs["pivots"].(float64); !ok || pv <= 0 {
+		t.Errorf("solve span pivots attr %v, want > 0", spans["solve"].Attrs["pivots"])
+	}
+	if spans["solve"].Attrs["status"] != "optimal" {
+		t.Errorf("solve span status %v", spans["solve"].Attrs["status"])
+	}
+	// Span durations account for at most the request's total (the handler
+	// also spends time outside any span).
+	if sum > tj.DurMS*1.001 {
+		t.Errorf("span durations sum to %.3fms > request %.3fms", sum, tj.DurMS)
+	}
+
+	// An exact-hit repeat is traced too, without a solve span.
+	var or OptimizeResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", req, &or); st != http.StatusOK || or.Cache != "hit" {
+		t.Fatalf("repeat: status %d cache %q", st, or.Cache)
+	}
+	var list struct {
+		Traces []obs.TraceJSON `json:"traces"`
+	}
+	if st := call(t, http.MethodGet, base+"/v1/trace?n=5", nil, &list); st != http.StatusOK {
+		t.Fatalf("trace list status %d", st)
+	}
+	if len(list.Traces) != 2 {
+		t.Fatalf("%d traces retained, want 2 (monitoring endpoints are not recorded)", len(list.Traces))
+	}
+	if list.Traces[0].Attrs["cache"] != "hit" || list.Traces[1].ID != traceID {
+		t.Errorf("trace order: got %v then %v, want the hit newest", list.Traces[0].Attrs, list.Traces[1].ID)
+	}
+	for _, sp := range list.Traces[0].Spans {
+		if sp.Name == "solve" {
+			t.Errorf("exact hit grew a solve span")
+		}
+	}
+}
+
+// TestStatsEndpointSections: /v1/stats grows the per-endpoint and solve
+// distribution sections while keeping the counters map stable.
+func TestStatsEndpointSections(t *testing.T) {
+	srv, base := newTestServer(t)
+	req := OptimizeRequest{
+		Model:  "disk",
+		Bounds: []BoundSpec{{Metric: "penalty", Rel: "<=", Value: 1.6}},
+	}
+	var or OptimizeResponse
+	if st := call(t, http.MethodPost, base+"/v1/optimize", req, &or); st != http.StatusOK {
+		t.Fatalf("optimize status %d", st)
+	}
+
+	var stats struct {
+		Counters  map[string]int64 `json:"counters"`
+		Endpoints map[string]struct {
+			Requests int64 `json:"requests"`
+			Latency  struct {
+				Count int64   `json:"count"`
+				P50MS float64 `json:"p50_ms"`
+				P99MS float64 `json:"p99_ms"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+		Solve struct {
+			Pivots struct {
+				Count int64   `json:"count"`
+				P99   float64 `json:"p99"`
+			} `json:"pivots"`
+			Stages map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"stages"`
+		} `json:"solve"`
+	}
+	if st := call(t, http.MethodGet, base+"/v1/stats", nil, &stats); st != http.StatusOK {
+		t.Fatalf("stats status %d", st)
+	}
+	if stats.Counters["optimize_queries"] != 1 {
+		t.Errorf("counters.optimize_queries = %d", stats.Counters["optimize_queries"])
+	}
+	ep, ok := stats.Endpoints["optimize"]
+	if !ok || ep.Requests != 1 || ep.Latency.Count != 1 || ep.Latency.P99MS <= 0 || ep.Latency.P50MS > ep.Latency.P99MS {
+		t.Errorf("endpoints.optimize = %+v", ep)
+	}
+	if stats.Solve.Pivots.Count != 1 || stats.Solve.Pivots.P99 <= 0 {
+		t.Errorf("solve.pivots = %+v", stats.Solve.Pivots)
+	}
+	if _, ok := stats.Solve.Stages["ftran"]; !ok {
+		t.Errorf("solve.stages missing ftran: %v", stats.Solve.Stages)
+	}
+	if got := srv.Stats()["requests_optimize"]; got != 1 {
+		t.Errorf("Stats()[requests_optimize] = %d, want 1", got)
+	}
+}

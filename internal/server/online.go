@@ -167,6 +167,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		if out.Result != nil {
 			s.stats.Refactorizations.Add(int64(out.Result.LPRefactorizations))
 			s.stats.addSolveTimings(out.Result.LPTimings)
+			s.tele.recordSolve(out.Result)
 		}
 		if out.Trigger == "drift" {
 			s.stats.OnlineDriftRefreshes.Add(1)

@@ -51,6 +51,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	BaseContext context.Context
 	// MaxSweepPoints bounds one sweep request (default 4096).
 	MaxSweepPoints int
+	// TraceBuffer bounds the ring of finished request traces retrievable
+	// via GET /v1/trace (default 256).
+	TraceBuffer int
+	// AccessLog emits one structured log line per request (method, path,
+	// status, duration, trace ID) through the obs logger.
+	AccessLog bool
 }
 
 // maxObserveSlices bounds one observe request's count batch; a feeder
@@ -87,6 +94,7 @@ type Server struct {
 	cache   *solveCache
 	flights *flightGroup
 	stats   counters
+	tele    *telemetry
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -114,11 +122,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = 256
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     newRegistry(),
 		cache:   newSolveCache(cfg.CacheSize),
 		flights: newFlightGroup(),
+		tele:    newTelemetry(cfg.TraceBuffer),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		onlines: make(map[string]*onlineEntry),
@@ -146,21 +158,74 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// Handler returns the HTTP handler (with the request counter wrapped
-// around the route mux).
+// statusWriter captures the response status for telemetry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the HTTP handler: the route mux wrapped in the
+// observability middleware. Every request gets a trace (the X-Request-Id
+// header, if present, is attached for correlation; the trace ID is echoed
+// back as X-Trace-Id), a per-endpoint latency observation, and — for the
+// solver-facing endpoints — a slot in the trace ring buffer served by
+// GET /v1/trace.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.stats.Requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		ep := endpointOf(r)
+		es := s.tele.endpoints[ep]
+		es.requests.Add(1)
+
+		ctx, tr := obs.StartTrace(r.Context(), r.Method+" "+r.URL.Path, "")
+		tr.Request = r.Header.Get("X-Request-Id")
+		w.Header().Set("X-Trace-Id", tr.ID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		started := time.Now()
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(started)
+
+		es.latency.ObserveDuration(elapsed)
+		tr.Set("endpoint", ep)
+		tr.Set("status", sw.status)
+		tr.Finish()
+		if recorded(ep) {
+			s.tele.recorder.Record(tr)
+		}
+		if s.cfg.AccessLog {
+			obs.Logger().Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_ms", float64(elapsed.Microseconds())/1000,
+				"trace", tr.ID,
+				"request", tr.Request,
+			)
+		}
 	})
 }
 
 // Stats returns a snapshot of the serving counters (exported for embedding
-// processes; the HTTP surface is /v1/stats).
-func (s *Server) Stats() map[string]int64 { return s.stats.snapshot() }
+// processes; the HTTP surface is /v1/stats), including one
+// requests_<endpoint> counter per endpoint that has served traffic.
+func (s *Server) Stats() map[string]int64 {
+	snap := s.stats.snapshot()
+	for _, name := range endpointNames {
+		if n := s.tele.endpoints[name].requests.Load(); n > 0 {
+			snap["requests_"+name] = n
+		}
+	}
+	return snap
+}
 
 // ---- query fingerprinting ----
 
@@ -357,9 +422,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.OptimizeQueries.Add(1)
 	key, family, vals := queryKey(e.ID, opts)
+	tr := obs.TraceFrom(r.Context())
+	tr.Set("model", e.ID)
 
-	if c := s.cache.get(key); c != nil && c.result != nil {
+	_, csp := obs.StartSpan(r.Context(), "cache")
+	c := s.cache.get(key)
+	hit := c != nil && c.result != nil
+	csp.Set("mode", map[bool]string{true: "hit", false: "miss"}[hit])
+	csp.End()
+	if hit {
 		s.stats.ExactHits.Add(1)
+		tr.Set("cache", "hit")
 		writeJSON(w, http.StatusOK, s.optimizeResponse(e, &req, c.result, "hit", 0, started))
 		return
 	}
@@ -367,9 +440,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	reqCtx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	v, shared, err := s.doSolve(reqCtx, key, timeout, func(ctx context.Context) (any, error) {
+		// The flight runs on a context derived from BaseContext so a joined
+		// leader outliving this request keeps solving; re-attach the request's
+		// trace so the leader's solve spans land in it. (Joiners share the
+		// result, not the spans — their trace records cache="shared".)
+		ctx = obs.Reattach(ctx, reqCtx)
 		o := opts
+		_, wsp := obs.StartSpan(ctx, "warm-lookup")
 		o.WarmBasis = s.cache.nearest(family, vals)
+		wsp.Set("found", o.WarmBasis != nil)
+		wsp.End()
 		res, err := core.OptimizeCtx(ctx, e.Model, o)
+		s.tele.recordSolve(res)
 		switch {
 		case err == nil:
 		case errors.Is(err, core.ErrInfeasible):
@@ -415,6 +497,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		mode = "shared"
 	}
+	tr.Set("cache", mode)
+	tr.Set("pivots", out.res.LPIterations)
 	writeJSON(w, http.StatusOK, s.optimizeResponse(e, &req, out.res, mode, out.res.LPIterations, started))
 }
 
@@ -523,6 +607,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	reqCtx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	v, shared, err := s.doSolve(reqCtx, sweepKey, timeout, func(ctx context.Context) (any, error) {
+		ctx = obs.Reattach(ctx, reqCtx)
+		_, ssp := obs.StartSpan(ctx, "sweep")
+		ssp.Set("points", len(req.Sweep.Values))
+		defer ssp.End()
 		o := opts
 		seedVals := append(append([]float64{}, baseVals...), req.Sweep.Values[0])
 		o.WarmBasis = s.cache.nearest(family, seedVals)
@@ -557,6 +645,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					}
 					s.stats.Refactorizations.Add(int64(p.Result.LPRefactorizations))
 					s.stats.addSolveTimings(p.Result.LPTimings)
+					s.tele.recordSolve(p.Result)
 					// Each point is also a cacheable optimize answer: an
 					// optimize query at a swept bound becomes an exact hit,
 					// and the point's basis seeds future warm starts.
@@ -598,6 +687,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := map[string]any{
 		"counters":   s.stats.snapshot(),
+		"endpoints":  s.tele.statsEndpoints(),
+		"solve":      s.tele.statsSolve(),
 		"cache_size": s.cache.len(),
 		"models":     s.reg.size(),
 		"uptime_s":   time.Since(s.start).Seconds(),
@@ -605,12 +696,52 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, stats)
 }
 
+// handleTrace is GET /v1/trace: the most recent retained request traces,
+// newest first. ?n= bounds the count (default 20); ?id= retrieves one trace
+// by the X-Trace-Id a response carried.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		tj, ok := s.tele.recorder.Find(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained (buffer holds the last %d solver-facing requests)", id, s.cfg.TraceBuffer))
+			return
+		}
+		writeJSON(w, http.StatusOK, tj)
+		return
+	}
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.tele.recorder.Last(n)})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.stats.writeProm(w, map[string]int64{
-		"cache_size": int64(s.cache.len()),
-		"models":     int64(s.reg.size()),
-	})
+	p := obs.NewPromWriter(w)
+	s.stats.writeProm(p)
+	for _, name := range endpointNames {
+		p.Family("dpmserved_endpoint_requests_total", "counter", "HTTP requests by endpoint.")
+		p.Sample("dpmserved_endpoint_requests_total", obs.Label("endpoint", name),
+			float64(s.tele.endpoints[name].requests.Load()))
+	}
+	p.Gauge("dpmserved_cache_size", "Cached query results and bases.", float64(s.cache.len()))
+	p.Gauge("dpmserved_models", "Resident compiled models.", float64(s.reg.size()))
+	p.Gauge("dpmserved_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	for _, name := range endpointNames {
+		p.Histogram("dpmserved_request_duration_seconds", "Request latency by endpoint.",
+			obs.Label("endpoint", name), s.tele.endpoints[name].latency.Snapshot(), 1e-9)
+	}
+	for _, name := range stageNames {
+		p.Histogram("dpmserved_solve_stage_duration_seconds", "Per-stage solver wall clock per solve.",
+			obs.Label("stage", name), s.tele.stages[name].Snapshot(), 1e-9)
+	}
+	p.Histogram("dpmserved_solve_pivots", "Simplex pivots per solve.", "", s.tele.pivots.Snapshot(), 1)
 }
 
 // ---- plumbing ----

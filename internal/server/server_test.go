@@ -335,7 +335,7 @@ func TestValidationAndHealth(t *testing.T) {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatalf("reading /metrics: %v", err)
 	}
-	for _, want := range []string{"dpmserved_requests", "dpmserved_exact_hits", "dpmserved_models 7"} {
+	for _, want := range []string{"dpmserved_requests_total", "dpmserved_exact_hits_total", "dpmserved_models 7"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("/metrics missing %q", want)
 		}

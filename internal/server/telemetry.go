@@ -1,0 +1,171 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// endpointNames is the fixed set of per-endpoint telemetry keys. Every
+// request maps onto exactly one (unknown paths land in "other"), so the
+// histogram map is immutable after construction and needs no locking.
+var endpointNames = []string{
+	"optimize", "sweep", "observe", "models", "healthz", "stats", "metrics", "trace", "other",
+}
+
+// stageNames mirrors the lp.Timings breakdown, in emission order.
+var stageNames = []string{"ftran", "btran", "price", "factor", "update"}
+
+// endpointStats is one endpoint's serving telemetry: a request counter and
+// a latency histogram (nanoseconds, geometric buckets).
+type endpointStats struct {
+	requests atomic.Int64
+	latency  *obs.Histogram
+}
+
+// telemetry is the server's distributional observability surface, next to
+// the monotone counters: per-endpoint latency histograms, pivots-per-solve
+// and per-stage solve-time histograms, and the trace ring buffer behind
+// GET /v1/trace. All recording paths are atomic-only.
+type telemetry struct {
+	endpoints map[string]*endpointStats
+	pivots    *obs.Histogram            // pivots per completed solve
+	stages    map[string]*obs.Histogram // per-stage solver wall clock, ns
+	recorder  *obs.Recorder
+}
+
+func newTelemetry(traceBuffer int) *telemetry {
+	t := &telemetry{
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		pivots:    obs.NewCountHistogram(),
+		stages:    make(map[string]*obs.Histogram, len(stageNames)),
+		recorder:  obs.NewRecorder(traceBuffer),
+	}
+	for _, name := range endpointNames {
+		t.endpoints[name] = &endpointStats{latency: obs.NewLatencyHistogram()}
+	}
+	for _, name := range stageNames {
+		t.stages[name] = obs.NewLatencyHistogram()
+	}
+	return t
+}
+
+// endpointOf maps a request path onto its telemetry key.
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/optimize":
+		return "optimize"
+	case p == "/v1/sweep":
+		return "sweep"
+	case strings.HasPrefix(p, "/v1/models"):
+		if strings.HasSuffix(p, "/observe") {
+			return "observe"
+		}
+		return "models"
+	case p == "/v1/healthz":
+		return "healthz"
+	case p == "/v1/stats":
+		return "stats"
+	case p == "/metrics":
+		return "metrics"
+	case p == "/v1/trace":
+		return "trace"
+	}
+	return "other"
+}
+
+// recorded reports whether an endpoint's traces are retained in the ring
+// buffer. Solver-facing endpoints are; the monitoring plane (stats,
+// metrics, trace, healthz) is traced for latency but not retained, so a
+// scraper polling /metrics cannot evict the traces worth inspecting.
+func recorded(endpoint string) bool {
+	switch endpoint {
+	case "stats", "metrics", "trace", "healthz":
+		return false
+	}
+	return true
+}
+
+// recordSolve folds one completed solve's work distribution into the
+// histograms: pivot count and the per-stage wall-clock breakdown. Safe on
+// partial results (a cancelled solve still reports the pivots it spent).
+func (t *telemetry) recordSolve(res *core.Result) {
+	if res == nil {
+		return
+	}
+	t.pivots.Observe(float64(res.LPIterations))
+	tm := res.LPTimings
+	if tm.Total() == 0 {
+		return
+	}
+	t.stages["ftran"].ObserveDuration(tm.Ftran)
+	t.stages["btran"].ObserveDuration(tm.Btran)
+	t.stages["price"].ObserveDuration(tm.Price)
+	t.stages["factor"].ObserveDuration(tm.Factor)
+	t.stages["update"].ObserveDuration(tm.Update)
+}
+
+// latencySummaryMS renders a nanosecond histogram as the millisecond
+// quantile summary served on /v1/stats.
+func latencySummaryMS(h *obs.Histogram) map[string]any {
+	s := h.Snapshot()
+	toMS := func(v float64) float64 { return v / 1e6 }
+	return map[string]any{
+		"count":   s.Count,
+		"mean_ms": toMS(safeMean(s)),
+		"p50_ms":  toMS(s.Quantile(0.50)),
+		"p90_ms":  toMS(s.Quantile(0.90)),
+		"p99_ms":  toMS(s.Quantile(0.99)),
+	}
+}
+
+// countSummary renders a unitless histogram (pivot counts) for /v1/stats.
+func countSummary(h *obs.Histogram) map[string]any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count": s.Count,
+		"mean":  safeMean(s),
+		"p50":   s.Quantile(0.50),
+		"p90":   s.Quantile(0.90),
+		"p99":   s.Quantile(0.99),
+	}
+}
+
+func safeMean(s obs.HistogramSnapshot) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// statsEndpoints is the "endpoints" section of /v1/stats.
+func (t *telemetry) statsEndpoints() map[string]any {
+	out := make(map[string]any, len(endpointNames))
+	for _, name := range endpointNames {
+		es := t.endpoints[name]
+		if es.requests.Load() == 0 {
+			continue
+		}
+		out[name] = map[string]any{
+			"requests": es.requests.Load(),
+			"latency":  latencySummaryMS(es.latency),
+		}
+	}
+	return out
+}
+
+// statsSolve is the "solve" section of /v1/stats.
+func (t *telemetry) statsSolve() map[string]any {
+	stages := make(map[string]any, len(stageNames))
+	for _, name := range stageNames {
+		stages[name] = latencySummaryMS(t.stages[name])
+	}
+	return map[string]any{
+		"pivots": countSummary(t.pivots),
+		"stages": stages,
+	}
+}

@@ -5,10 +5,18 @@
 # assert a warm drift refresh happened, and shut it down cleanly. CI runs
 # this against a race-instrumented daemon (`make smoke`); it needs only
 # bash + curl + the two binaries.
+#
+# With a third argument (path to dpmload), a load phase follows: the
+# closed-loop generator drives a mixed workload at two concurrency levels
+# with -require-p99, the measured quantiles merge into $BENCH_OUT (default
+# smoke-bench.json next to the log), and GET /v1/trace must return recorded
+# spans for the traffic just issued. That makes `make loadtest` a CI-grade
+# assertion that the serving numbers in BENCH.json were actually measured.
 set -euo pipefail
 
-BIN="${1:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed}"
-FEED="${2:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed}"
+BIN="${1:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed [path/to/dpmload]}"
+FEED="${2:?usage: smoke.sh path/to/dpmserved path/to/dpmfeed [path/to/dpmload]}"
+LOAD="${3:-}"
 LOG="$(mktemp)"
 trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
@@ -48,7 +56,21 @@ HET=$(curl -sSf -X POST -d "$HREQ" "$URL/v1/optimize")
 echo "$HET" | grep -q '"status": "optimal"' || fail "heterogeneous solve not optimal" "$HET"
 echo "$HET" | grep -q '"cache": "cold"' || fail "heterogeneous query not a cold solve" "$HET"
 
-curl -sSf "$URL/metrics" | grep -q '^dpmserved_exact_hits 1$' || { echo "smoke: exact_hits counter != 1"; exit 1; }
+# has VAR PATTERN: grep without -q so the whole (large) input is consumed —
+# with -q, grep exits at the first match and the echo side of the pipe dies
+# on SIGPIPE, which pipefail turns into a spurious failure. /metrics and
+# /v1/trace responses are big enough (histogram families, span trees) to
+# hit that.
+has() { echo "$1" | grep -e "$2" >/dev/null; }
+
+EARLY=$(curl -sSf "$URL/metrics")
+has "$EARLY" '^dpmserved_exact_hits_total 1$' || { echo "smoke: exact_hits counter != 1"; exit 1; }
+
+# Request tracing: the cold solve above must be retrievable with its span
+# tree, and the solve span carries the simplex annotations.
+TRACES=$(curl -sSf "$URL/v1/trace?n=10")
+has "$TRACES" '"name": "solve"' || fail "no solve span in /v1/trace" "$TRACES"
+has "$TRACES" '"name": "build"' || fail "no build span in /v1/trace" "$TRACES"
 
 # Online adaptation: stream a short two-regime trace at the race-instrumented
 # daemon. dpmfeed itself exits non-zero unless at least one drift-triggered
@@ -59,13 +81,32 @@ curl -sSf "$URL/metrics" | grep -q '^dpmserved_exact_hits 1$' || { echo "smoke: 
   -decay 0.99 -min-slices 200 -q \
   || { echo "smoke: dpmfeed failed"; exit 1; }
 METRICS=$(curl -sSf "$URL/metrics")
-echo "$METRICS" | grep -q '^dpmserved_online_drift_refreshes [1-9]' \
+has "$METRICS" '^dpmserved_online_drift_refreshes_total [1-9]' \
   || { echo "smoke: no drift refresh recorded"; echo "$METRICS" | grep online; exit 1; }
-echo "$METRICS" | grep -q '^dpmserved_online_warm [1-9]' \
+has "$METRICS" '^dpmserved_online_warm_total [1-9]' \
   || { echo "smoke: no warm online refresh recorded"; echo "$METRICS" | grep online; exit 1; }
-echo "$METRICS" | grep -q '^dpmserved_online_patched [1-9]' \
+has "$METRICS" '^dpmserved_online_patched_total [1-9]' \
   || { echo "smoke: no patched online refresh recorded"; echo "$METRICS" | grep online; exit 1; }
+
+PHASES="cold solve, cache hit, composite preset, trace retrieval, online drift refresh"
+if [ -n "$LOAD" ]; then
+  # Load phase: closed-loop mixed traffic at two concurrency levels against
+  # the same (race-instrumented, under CI) daemon. -require-p99 makes
+  # dpmload itself fail unless every level measured a positive p99 with
+  # zero request errors; the entries merge into BENCH_OUT for benchtrend.
+  BENCH_OUT="${BENCH_OUT:-smoke-bench.json}"
+  "$LOAD" -url "$URL" -model disk -conc 2,8 -requests 400 -seed 42 \
+    -require-p99 -bench-out "$BENCH_OUT" \
+    || { echo "smoke: dpmload failed"; exit 1; }
+  grep -q '"name": "LoadServed/conc=2"' "$BENCH_OUT" || { echo "smoke: LoadServed/conc=2 missing from $BENCH_OUT"; exit 1; }
+  grep -q '"name": "LoadServed/conc=8"' "$BENCH_OUT" || { echo "smoke: LoadServed/conc=8 missing from $BENCH_OUT"; exit 1; }
+  grep -q '"p99_ms"' "$BENCH_OUT" || { echo "smoke: p99_ms missing from $BENCH_OUT"; exit 1; }
+  # Traces for the load traffic must still be retrievable afterwards.
+  LTRACES=$(curl -sSf "$URL/v1/trace?n=20")
+  has "$LTRACES" '"spans"' || fail "no spans retrievable after load" "$LTRACES"
+  PHASES="$PHASES, load @ conc 2+8 with p99"
+fi
 
 kill -TERM "$PID"
 wait "$PID" || { echo "smoke: daemon exited non-zero on SIGTERM"; exit 1; }
-echo "smoke: ok (cold solve, cache hit, composite preset, online drift refresh, clean shutdown)"
+echo "smoke: ok ($PHASES, clean shutdown)"
