@@ -12,6 +12,9 @@ import (
 	"repro/internal/devices"
 	"repro/internal/experiments"
 	"repro/internal/lp"
+	"repro/internal/markov"
+	"repro/internal/policy"
+	"repro/internal/sim"
 )
 
 // reportSolveStats surfaces one solve's work counters and its per-stage
@@ -333,6 +336,75 @@ func BenchmarkHeterogeneous(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFactoredEval is the record of the matrix-free Kronecker
+// evaluation path: stationary analysis plus a 10⁵-slice simulation of the
+// heterogeneous platform, entirely against lazy factored operators. The
+// factored-k6 and expanded-k6 legs run the identical query on the identical
+// system — the only difference is the representation — so their B/op ratio
+// is the headline: factored allocations scale with Σᵢ nnz(partᵢ) while the
+// expanded leg compiles eight joint CSR chains of ~1.26M total nonzeros
+// first. The joint_chains metric proves the factored legs never compiled a
+// joint chain, and factored-k8 (87,480 composed states) runs a size the
+// expanded build path has no business touching per-iteration.
+func BenchmarkFactoredEval(b *testing.B) {
+	run := func(b *testing.B, k int, expanded bool) {
+		sr := core.TwoStateSR("w", 0.05, 0.2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var states, chains float64
+		for i := 0; i < b.N; i++ {
+			sys, err := devices.HeterogeneousSystem(k, 4, sr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fsp := sys.SP.(*core.FactoredSP)
+			var (
+				ch *markov.Chain
+				s  *sim.Simulator
+			)
+			if expanded {
+				m, err := sys.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ch, err = markov.NewCSR(m.P[0], 1e-7); err != nil {
+					b.Fatal(err)
+				}
+				if s, err = sim.New(m, &policy.Constant{}, sim.Config{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				op, err := sys.CommandOp(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ch, err = markov.NewOp(op, 1e-7); err != nil {
+					b.Fatal(err)
+				}
+				if s, err = sim.NewDirect(sys, &policy.Constant{}, sim.Config{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := ch.StationaryIter(1e-10, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(100000); err != nil {
+				b.Fatal(err)
+			}
+			if !expanded && fsp.CompiledChains() != 0 {
+				b.Fatalf("factored leg compiled %d joint chains", fsp.CompiledChains())
+			}
+			states = float64(sys.NumStates())
+			chains = float64(fsp.CompiledChains())
+		}
+		b.ReportMetric(states, "states")
+		b.ReportMetric(chains, "joint_chains")
+	}
+	b.Run("factored-k6", func(b *testing.B) { run(b, 6, false) })
+	b.Run("expanded-k6", func(b *testing.B) { run(b, 6, true) })
+	b.Run("factored-k8", func(b *testing.B) { run(b, 8, false) })
 }
 
 // BenchmarkComposeDisk measures system compilation (Eq. 4 composition).

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	benchtrend -old prev/BENCH.json [-new BENCH.json] [-max-ratio 2] \
-//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed] \
-//	           [-min-ns 1e6]
+//	           [-benches OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed,FactoredEval] \
+//	           [-min-ns 1e6] [-max-alloc-ratio 3]
 //
 // Bench names are prefix-matched against the report (so "LargeComposite"
 // covers every sub-benchmark). Benchmarks absent from the old report are
@@ -30,6 +30,16 @@
 // quantile by quantile with -max-quantile-ratio (default 2): a tail-latency
 // blowup fails CI even when mean ns/op absorbed it. Quantiles below
 // -min-quantile-ms in the old record are skipped as noise.
+//
+// Entries run with ReportAllocs are gated on B/op and allocs/op with
+// -max-alloc-ratio (default 3). Allocation counts are deterministic — no
+// single-iteration timing noise — so this gate protects results the timing
+// gates cannot see: the FactoredEval benches exist to prove evaluation
+// allocates ∝ Σ nnz(factorᵢ) instead of compiling the expanded joint chain,
+// and an accidental re-expansion would multiply B/op by orders of magnitude
+// while barely moving ns/op. Old records below -min-alloc-bytes B/op (or
+// -min-allocs allocs/op) are skipped — tiny footprints regress by large
+// ratios for harmless reasons.
 package main
 
 import (
@@ -57,12 +67,15 @@ func main() {
 	oldPath := flag.String("old", "", "previous BENCH.json (required)")
 	newPath := flag.String("new", "BENCH.json", "current BENCH.json")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/old ns/op exceeds this")
-	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed", "comma-separated headline bench name prefixes")
+	benches := flag.String("benches", "OptimizeDisk,SweepDisk,LargeComposite,Heterogeneous,OnlineRefresh,LoadServed,FactoredEval", "comma-separated headline bench name prefixes")
 	minNS := flag.Float64("min-ns", 1e6, "ignore benches whose old ns/op is below this (too noisy at 1 iteration)")
 	maxStageRatio := flag.Float64("max-stage-ratio", 3.0, "fail when a per-stage solver timing (ftran_ms, …) exceeds this ratio")
 	minStageMS := flag.Float64("min-stage-ms", 50, "ignore stages whose old value is below this many ms")
 	maxQuantileRatio := flag.Float64("max-quantile-ratio", 2.0, "fail when a serving latency quantile (p50_ms, p90_ms, p99_ms) exceeds this ratio")
 	minQuantileMS := flag.Float64("min-quantile-ms", 0.2, "ignore quantiles whose old value is below this many ms")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 3.0, "fail when B/op or allocs/op exceeds this ratio")
+	minAllocBytes := flag.Float64("min-alloc-bytes", 1e6, "ignore B/op gates whose old value is below this many bytes")
+	minAllocs := flag.Float64("min-allocs", 1000, "ignore allocs/op gates whose old value is below this count")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchtrend: -old is required")
@@ -85,6 +98,9 @@ func main() {
 		minStageMS:       *minStageMS,
 		maxQuantileRatio: *maxQuantileRatio,
 		minQuantileMS:    *minQuantileMS,
+		maxAllocRatio:    *maxAllocRatio,
+		minAllocBytes:    *minAllocBytes,
+		minAllocs:        *minAllocs,
 	})
 	for _, n := range notes {
 		fmt.Println(n)
@@ -129,11 +145,15 @@ type limits struct {
 	minStageMS       float64 // per-stage noise floor, in ms
 	maxQuantileRatio float64 // serving latency quantile gate
 	minQuantileMS    float64 // quantile noise floor, in ms
+	maxAllocRatio    float64 // B/op and allocs/op gate
+	minAllocBytes    float64 // B/op noise floor, in bytes
+	minAllocs        float64 // allocs/op noise floor, in allocations
 }
 
-// compare returns the regression messages (new/old ns/op > maxRatio, or a
-// solver stage exceeding maxStageRatio) and informational notes for the
-// selected headline benches.
+// compare returns the regression messages (new/old ns/op > maxRatio, a
+// solver stage exceeding maxStageRatio, a latency quantile exceeding
+// maxQuantileRatio, or an allocation metric exceeding maxAllocRatio) and
+// informational notes for the selected headline benches.
 func compare(oldRep, newRep *Report, prefixes []string, lim limits) (regressions, notes []string) {
 	old := make(map[string]Entry, len(oldRep.Benchmarks))
 	for _, e := range oldRep.Benchmarks {
@@ -178,6 +198,34 @@ func compare(oldRep, newRep *Report, prefixes []string, lim limits) (regressions
 				regressions = append(regressions, qmsg)
 			} else {
 				notes = append(notes, "benchtrend: "+qmsg)
+			}
+		}
+		// Allocation gates run before the ns/op noise floor too: allocation
+		// counts are deterministic, so they are meaningful even on benches
+		// whose timings are noise.
+		for _, am := range []struct {
+			metric string
+			floor  float64
+			unit   string
+		}{
+			{"B/op", lim.minAllocBytes, "B"},
+			{"allocs/op", lim.minAllocs, ""},
+		} {
+			ab, ok := prev.Metrics[am.metric]
+			if !ok || ab < am.floor {
+				continue
+			}
+			ac, ok := e.Metrics[am.metric]
+			if !ok {
+				notes = append(notes, fmt.Sprintf("benchtrend: %s: %s no longer reported", e.Name, am.metric))
+				continue
+			}
+			ar := ac / ab
+			amsg := fmt.Sprintf("%s %s: %.4g%s -> %.4g%s (%.2fx)", e.Name, am.metric, ab, am.unit, ac, am.unit, ar)
+			if ar > lim.maxAllocRatio {
+				regressions = append(regressions, amsg)
+			} else {
+				notes = append(notes, "benchtrend: "+amsg)
 			}
 		}
 		base, ok := prev.Metrics["ns/op"]

@@ -166,3 +166,63 @@ func TestCompareQuantiles(t *testing.T) {
 		t.Errorf("missing-quantile note absent: %v", notes)
 	}
 }
+
+// allocEntry builds a ReportAllocs-shaped entry.
+func allocEntry(name string, ns, bytes, allocs float64) Entry {
+	return Entry{Package: "repro", Name: name, Iterations: 1, Metrics: map[string]float64{
+		"ns/op":     ns,
+		"B/op":      bytes,
+		"allocs/op": allocs,
+	}}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	lim := limits{maxRatio: 2, minNS: 1e6, maxStageRatio: 3, minStageMS: 50,
+		maxQuantileRatio: 2, minQuantileMS: 0.2, maxAllocRatio: 3, minAllocBytes: 1e6, minAllocs: 1000}
+	prefixes := []string{"FactoredEval"}
+	old := rep(allocEntry("FactoredEval/factored-k6", 350e6, 1.3e6, 2e4))
+
+	// A B/op blowup (the joint chain got compiled) fails even when the wall
+	// clock stays within its own gate.
+	cur := rep(allocEntry("FactoredEval/factored-k6", 500e6, 2.1e8, 2.6e5))
+	regs, _ := compare(old, cur, prefixes, lim)
+	if len(regs) != 2 || !strings.Contains(regs[0], "B/op") || !strings.Contains(regs[1], "allocs/op") {
+		t.Errorf("regressions = %v, want B/op and allocs/op", regs)
+	}
+
+	// Within ratio: notes only.
+	cur = rep(allocEntry("FactoredEval/factored-k6", 360e6, 2.5e6, 3.5e4))
+	if regs, _ := compare(old, cur, prefixes, lim); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// Allocation gates apply below the ns/op noise floor: deterministic
+	// counts are meaningful even when timings are noise.
+	old2 := rep(allocEntry("FactoredEval/factored-k6", 0.5e6, 2e6, 5e3))
+	cur = rep(allocEntry("FactoredEval/factored-k6", 0.6e6, 4e7, 6e3))
+	regs, _ = compare(old2, cur, prefixes, lim)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B/op") {
+		t.Errorf("sub-floor ns/op exempted allocations: regressions = %v", regs)
+	}
+
+	// Baselines below the alloc floors are never compared.
+	old3 := rep(allocEntry("FactoredEval/factored-k6", 350e6, 5e5, 500))
+	cur = rep(allocEntry("FactoredEval/factored-k6", 360e6, 5e6, 5e4))
+	if regs, _ := compare(old3, cur, prefixes, lim); len(regs) != 0 {
+		t.Errorf("sub-floor alloc baseline flagged: %v", regs)
+	}
+
+	// An allocation metric disappearing (ReportAllocs removed) is a note.
+	cur = rep(entry("FactoredEval/factored-k6", 360e6))
+	regs, notes := compare(old, cur, prefixes, lim)
+	if len(regs) != 0 {
+		t.Errorf("missing alloc metric treated as regression: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		found = found || strings.Contains(n, "B/op no longer reported")
+	}
+	if !found {
+		t.Errorf("missing-alloc note absent: %v", notes)
+	}
+}

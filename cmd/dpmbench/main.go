@@ -7,7 +7,7 @@
 // Without arguments it runs every experiment in DESIGN.md §5 and prints
 // each reproduction as a text table. Experiment ids: table1, fig6, fig8b,
 // fig9a, fig9b, fig10, fig12a, fig12b, fig13a, fig13b, fig14a, fig14b,
-// exampleA2.
+// exampleA2, factored.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the experiment
 // runs (the heap profile is taken after the last experiment), so future

@@ -27,14 +27,20 @@
 //     results (sweep.Map), and chunked warm-started Pareto tracing
 //     (sweep.Pareto) that reproduces the sequential curve point for
 //     point with identical objectives;
-//   - internal/markov — CSR-backed Markov-chain analysis (stationary
-//     distributions, discounted values and occupancies, hitting times),
-//     with O(nnz) distribution steps and direct solves assembled straight
-//     from the sparse form;
+//   - internal/markov — Markov-chain analysis over a minimal operator
+//     interface (markov.Op: one distribution step plus row sampling), so a
+//     chain is either an explicit CSR or a matrix-free operator
+//     (markov.NewOp). Stationary distributions, discounted values and
+//     occupancies dispatch between the dense-LU direct solves (small
+//     explicit chains — also the parity oracle) and iterative matrix-free
+//     paths (damped power iteration, geometric-series accumulation) for
+//     large or operator-backed chains;
 //   - internal/policy — heuristic power managers (greedy, timeout,
 //     randomized timeout) and the stationary-policy controller;
 //   - internal/sim — the slotted stochastic simulation engine (model-,
-//     session- and trace-driven);
+//     session- and trace-driven), with a Model-free mode (sim.NewDirect)
+//     that evaluates metrics on demand and steps factored composites one
+//     part at a time;
 //   - internal/trace — request traces, the SR extractor and synthetic
 //     workload generators;
 //   - internal/mat — the linear-algebra substrate: dense vectors and
@@ -42,7 +48,9 @@
 //     CSR/CSC, sparse×dense products, stochastic validation on sparse
 //     form) that the composed chains and the LP columns live in, and the
 //     sparse Kronecker kernels (mat.Kron, mat.KronAll) that compile
-//     product chains directly in CSR;
+//     product chains directly in CSR and the lazy Kronecker operator
+//     (mat.KronOp) that applies and samples the product without forming
+//     it;
 //   - internal/devices — the paper's case-study models (example system,
 //     Appendix-B baseline, Table-I disk drive, web server, SA-1100 CPU)
 //     plus the composite fixtures: mini-disk, NIC, the k-disk
@@ -118,6 +126,18 @@
 // six-component platform's 144 joint commands to 8. The legacy dense
 // CompositeSP remains as the parity reference; the factored path is
 // exercised against it to 1e-8 by the randomized parity suite.
+//
+// Compilation itself is lazy: a FactoredSP stores only the per-command
+// factor lists, and expands a joint Kronecker CSR the first time Chain is
+// called for that command (Model compilation, LP assembly). Evaluation
+// never calls it — System.CommandOp / System.PolicyOp expose the composed
+// Eq. 4 chain as a matrix-free three-stage operator (SR sweep, queue
+// kernels, lazy Kronecker SP sweep), EvaluateFactored computes a policy's
+// exact discounted metrics against it iteratively, and sim.NewDirect
+// simulates the system with per-part successor sampling — so policies on
+// platforms whose joint chains are too large to store can still be
+// evaluated and simulated, at cost proportional to the factor nonzeros
+// (see the README's "Factored evaluation" section).
 //
 // # Solver architecture
 //
@@ -299,8 +319,12 @@ var (
 	// tallies how its solves went.
 	ParallelParetoSweep = sweep.Pareto
 	ParetoSweepStats    = sweep.Tally
-	// Evaluate computes exact discounted metrics of a policy.
-	Evaluate = core.Evaluate
+	// Evaluate computes exact discounted metrics of a policy;
+	// EvaluateFactored is the Model-free mirror, running the same query
+	// iteratively against matrix-free composed operators (never expanding
+	// a factored provider's joint chains).
+	Evaluate         = core.Evaluate
+	EvaluateFactored = core.EvaluateFactored
 	// BuildFrequencyLP assembles the LP2/LP3/LP4 frequency program in
 	// sparse form without solving it (benchmarking, alternative solvers);
 	// PatchFrequencyLP rewrites an assembled program's coefficients in

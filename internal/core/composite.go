@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -17,11 +18,13 @@ import (
 //
 // Unlike the legacy CompositeSP — which eagerly enumerates the joint chain
 // into dense |S|×|S| matrices and dense |S|×|A| rate/power tables — Build
-// *compiles* the composite: each joint per-command transition matrix is
-// assembled directly in CSR as the Kronecker product of the part chains
-// (mat.KronAll), and rate/power are evaluated on demand from the factors.
-// The joint state space still grows as the product of the part sizes, but
-// the cost of carrying it now scales with its sparsity, not its square.
+// *compiles* the composite, and lazily: it stores only the per-part CSR
+// chains, rate/power evaluate on demand from the factors, and a joint
+// per-command transition matrix is expanded to its Kronecker-product CSR
+// (mat.KronAll) only if and when someone asks for it via Chain. Consumers
+// that evaluate or simulate — matvecs via Op, stepping via SampleNext —
+// never trigger the expansion, so their footprint scales with Σ nnz(partᵢ)
+// rather than Π nnzᵢ.
 //
 // The joint command space A = Π aᵢ grows just as fast, and most of it is
 // junk — real power managers do not retarget every device every slice. Two
@@ -66,10 +69,13 @@ type Composite struct {
 }
 
 // FactoredSP is a compiled Composite: a Provider whose per-command joint
-// chains are CSR Kronecker products of the part chains and whose rate and
-// power evaluate on demand from the factors. It holds O(Σ nnz(chains) +
-// k·(|S|+|A|)) memory — no dense |S|×|S| or |S|×|A| table is ever
-// materialized.
+// chains stay *factored* — Build stores only the per-part CSR factors, and
+// the expanded Kronecker-product CSR of a joint command is compiled lazily,
+// on first Chain(a) call, then cached. Evaluation and simulation never need
+// the expansion: Op hands out the lazy mat.KronOp over the factors and
+// SampleNext steps the joint chain one part at a time, so those paths hold
+// O(Σ nnz(partᵢ) + k·(|S|+|A|)) memory — no joint CSR, no dense |S|×|S| or
+// |S|×|A| table.
 type FactoredSP struct {
 	name     string
 	parts    []*ServiceProvider
@@ -81,14 +87,19 @@ type FactoredSP struct {
 	states []string // joint state names, part 0 fastest
 	cmds   []string // masked joint command names
 
-	stateIdx [][]int    // per joint state, the per-part state indices
-	cmdIdx   [][]int    // per joint command, the per-part (original) command indices
-	chains   []*mat.CSR // per joint command, the Kronecker-compiled chain
+	stateIdx [][]int // per joint state, the per-part state indices
+	cmdIdx   [][]int // per joint command, the per-part (original) command indices
+
+	factors [][]*mat.CSR  // per joint command, the part chains reversed (part k-1 first, so part 0 varies fastest)
+	ops     []*mat.KronOp // per joint command, the shared sampling operator (RowSample is stateless)
+	chains  []*mat.CSR    // per joint command, the lazily compiled expanded chain
+	chainMu []sync.Once   // compile-once guards for chains
 }
 
 // Build compiles the composite into its factored provider. All validation
 // happens here — part consistency, mask well-formedness, stochasticity of
-// the compiled chains, and the combined rate staying inside [0,1] — so the
+// the compressed part chains (which implies it for any lazily expanded
+// joint chain), and the combined rate staying inside [0,1] — so the
 // returned provider's Validate is cheap.
 func (c *Composite) Build() (*FactoredSP, error) {
 	if len(c.Parts) == 0 {
@@ -177,8 +188,7 @@ func (c *Composite) Build() (*FactoredSP, error) {
 	}
 	var cmds []string
 	var cmdIdx [][]int
-	var chains []*mat.CSR
-	factors := make([]*mat.CSR, k) // reversed: part k-1 first, so part 0 varies fastest
+	var factors [][]*mat.CSR
 	combo := make([]int, k)
 	for jc := 0; jc < nCombos; jc++ {
 		rem := jc
@@ -190,21 +200,32 @@ func (c *Composite) Build() (*FactoredSP, error) {
 			continue
 		}
 		idx := append([]int(nil), combo...)
+		fs := make([]*mat.CSR, k) // reversed: part k-1 first, so part 0 varies fastest
 		for i := range c.Parts {
 			names[i] = c.Parts[i].Commands[idx[i]]
-			factors[k-1-i] = partChains[i][idx[i]]
+			fs[k-1-i] = partChains[i][idx[i]]
 		}
 		cmdIdx = append(cmdIdx, idx)
 		cmds = append(cmds, strings.Join(names, "+"))
-		chains = append(chains, mat.KronAll(factors...))
+		factors = append(factors, fs)
 	}
 	if len(cmds) == 0 {
 		return nil, fmt.Errorf("core: composite %q: command mask excludes every joint command", c.Name)
 	}
-	for a, ch := range chains {
-		if err := ch.CheckStochastic(1e-9); err != nil {
-			return nil, fmt.Errorf("core: composite %q: compiled chain for command %q: %w", c.Name, cmds[a], err)
+	// Per-part stochasticity on the compressed factors (a Kronecker product
+	// of stochastic factors is stochastic, so the expanded chains — compiled
+	// lazily, if ever — need no separate check).
+	for i, pc := range partChains {
+		for a, ch := range pc {
+			if err := ch.CheckStochastic(1e-9); err != nil {
+				return nil, fmt.Errorf("core: composite %q: part %d (%s) chain for command %q: %w",
+					c.Name, i, c.Parts[i].Name, c.Parts[i].Commands[a], err)
+			}
 		}
+	}
+	ops := make([]*mat.KronOp, len(factors))
+	for a, fs := range factors {
+		ops[a] = mat.NewKronOp(fs...)
 	}
 
 	f := &FactoredSP{
@@ -218,7 +239,10 @@ func (c *Composite) Build() (*FactoredSP, error) {
 		cmds:     cmds,
 		stateIdx: stateIdx,
 		cmdIdx:   cmdIdx,
-		chains:   chains,
+		factors:  factors,
+		ops:      ops,
+		chains:   make([]*mat.CSR, len(cmds)),
+		chainMu:  make([]sync.Once, len(cmds)),
 	}
 	// Validate the combined rate over the whole (state, command) space once,
 	// without tabulating it: O(|S|·|A|) time, O(1) extra space.
@@ -259,9 +283,46 @@ func (f *FactoredSP) CommandIndex(name string) int {
 	return -1
 }
 
-// Chain returns the Kronecker-compiled CSR chain of joint command a. The
-// matrix is shared; callers must not mutate it.
-func (f *FactoredSP) Chain(a int) *mat.CSR { return f.chains[a] }
+// Chain returns the expanded Kronecker-product CSR chain of joint command a,
+// compiling it on first use (guarded per command, so concurrent callers —
+// e.g. server goroutines sharing a registered provider — compile each chain
+// exactly once). The matrix is shared; callers must not mutate it.
+//
+// Only consumers that genuinely need the expanded joint CSR (System.Build's
+// Model compilation, the LP assembly) should call this: evaluation and
+// simulation paths take Op and SampleNext instead, which never expand.
+func (f *FactoredSP) Chain(a int) *mat.CSR {
+	f.chainMu[a].Do(func() { f.chains[a] = mat.KronAll(f.factors[a]...) })
+	return f.chains[a]
+}
+
+// Op returns a fresh lazy Kronecker operator over joint command a's part
+// chains: matvecs cost Σᵢ nnz(partᵢ)·(|S|/|Sᵢ|) and row samples
+// O(Σᵢ out-degreeᵢ), with no joint CSR ever compiled. Each call returns a
+// new operator (the matvec scratch is per-instance, so distinct callers can
+// apply concurrently); the factors themselves are shared and read-only.
+func (f *FactoredSP) Op(a int) *mat.KronOp { return mat.NewKronOp(f.factors[a]...) }
+
+// SampleNext draws the joint successor of state s under joint command a by
+// sampling each part's row independently (one inverse-CDF walk per part, in
+// part order k-1..0 of the factor list — i.e. slowest joint digit first),
+// consuming one uniform from u per part. Allocation-free and safe for
+// concurrent use.
+func (f *FactoredSP) SampleNext(s, a int, u func() float64) int {
+	return f.ops[a].RowSample(s, u)
+}
+
+// CompiledChains reports how many joint commands have had their expanded
+// CSR chain compiled — 0 proves a workload ran fully factored.
+func (f *FactoredSP) CompiledChains() int {
+	n := 0
+	for i := range f.chains {
+		if f.chains[i] != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // PartStates returns the per-part state indices of joint state s. The slice
 // is shared; callers must not mutate it.

@@ -239,45 +239,11 @@ func (sys *System) Build() (*Model, error) {
 		m.P[cmd] = pm
 	}
 
-	// Metric tables.
-	power := mat.NewMatrix(n, a)
-	penalty := mat.NewMatrix(n, a)
-	loss := mat.NewMatrix(n, a)
-	drops := mat.NewMatrix(n, a)
-	service := mat.NewMatrix(n, a)
-	for i := 0; i < n; i++ {
-		st := sys.StateOf(i)
-		for cmd := 0; cmd < a; cmd++ {
-			power.Set(i, cmd, sys.SP.PowerAt(st.SP, cmd))
-			service.Set(i, cmd, sys.SP.RateAt(st.SP, cmd))
-			if sys.PenaltyFn != nil {
-				penalty.Set(i, cmd, sys.PenaltyFn(st, cmd))
-			} else {
-				penalty.Set(i, cmd, float64(st.Q))
-			}
-			if sys.LossFn != nil {
-				loss.Set(i, cmd, sys.LossFn(st, cmd))
-			} else if sys.SR.Requests[st.SR] > 0 && st.Q == sys.QueueCap {
-				loss.Set(i, cmd, 1)
-			}
-			// Expected drops in the upcoming transition: arrivals follow
-			// the destination SR state (composition semantics, Eq. 4).
-			b := sys.SP.RateAt(st.SP, cmd)
-			exp := 0.0
-			for rNext := 0; rNext < sys.SR.N(); rNext++ {
-				if p := sys.SR.P.At(st.SR, rNext); p != 0 {
-					exp += p * LostRequests(sys.QueueCap, st.Q, b, sys.SR.Requests[rNext])
-				}
-			}
-			drops.Set(i, cmd, exp)
-		}
-	}
-	m.Metrics[MetricPower] = power
-	m.Metrics[MetricPenalty] = penalty
-	m.Metrics[MetricLoss] = loss
-	m.Metrics[MetricDrops] = drops
-	m.Metrics[MetricService] = service
-	for name, fn := range sys.ExtraMetrics {
+	// Metric tables: tabulate the on-demand evaluators. Model consumers get
+	// O(1) lookups; Model-free consumers (the factored evaluation and
+	// simulation paths) call the same MetricFns directly, so the two paths
+	// compute bit-identical values.
+	for name, fn := range sys.MetricFns() {
 		t := mat.NewMatrix(n, a)
 		for i := 0; i < n; i++ {
 			st := sys.StateOf(i)
@@ -288,6 +254,57 @@ func (sys *System) Build() (*Model, error) {
 		m.Metrics[name] = t
 	}
 	return m, nil
+}
+
+// MetricFn evaluates one metric at a (state, command) pair.
+type MetricFn func(st State, cmd int) float64
+
+// MetricFns returns on-demand evaluators for every metric Build tabulates —
+// the built-ins (power, penalty, loss, drops, service) with the system's
+// hook overrides applied, plus ExtraMetrics. Build fills its Model.Metrics
+// tables from exactly these functions; Model-free consumers evaluate them
+// per visited state instead, paying O(1) memory rather than O(|S|·|A|)
+// tables.
+func (sys *System) MetricFns() map[string]MetricFn {
+	fns := map[string]MetricFn{
+		MetricPower: func(st State, cmd int) float64 {
+			return sys.SP.PowerAt(st.SP, cmd)
+		},
+		MetricService: func(st State, cmd int) float64 {
+			return sys.SP.RateAt(st.SP, cmd)
+		},
+		MetricPenalty: func(st State, cmd int) float64 {
+			if sys.PenaltyFn != nil {
+				return sys.PenaltyFn(st, cmd)
+			}
+			return float64(st.Q)
+		},
+		MetricLoss: func(st State, cmd int) float64 {
+			if sys.LossFn != nil {
+				return sys.LossFn(st, cmd)
+			}
+			if sys.SR.Requests[st.SR] > 0 && st.Q == sys.QueueCap {
+				return 1
+			}
+			return 0
+		},
+		// Expected drops in the upcoming transition: arrivals follow the
+		// destination SR state (composition semantics, Eq. 4).
+		MetricDrops: func(st State, cmd int) float64 {
+			b := sys.SP.RateAt(st.SP, cmd)
+			exp := 0.0
+			for rNext := 0; rNext < sys.SR.N(); rNext++ {
+				if p := sys.SR.P.At(st.SR, rNext); p != 0 {
+					exp += p * LostRequests(sys.QueueCap, st.Q, b, sys.SR.Requests[rNext])
+				}
+			}
+			return exp
+		},
+	}
+	for name, fn := range sys.ExtraMetrics {
+		fns[name] = fn
+	}
+	return fns
 }
 
 // Metric returns the named metric table or an error listing the available

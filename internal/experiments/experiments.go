@@ -193,6 +193,7 @@ var Registry = map[string]Runner{
 	"fig14a":    Fig14a,
 	"fig14b":    Fig14b,
 	"exampleA2": ExampleA2,
+	"factored":  Factored,
 }
 
 // IDs returns the registered experiment ids in stable order.

@@ -74,7 +74,7 @@ func monotone(t *testing.T, label string, ys []float64, dir int, tol float64) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"exampleA2", "fig10", "fig12a", "fig12b", "fig13a", "fig13b",
+	want := []string{"exampleA2", "factored", "fig10", "fig12a", "fig12b", "fig13a", "fig13b",
 		"fig14a", "fig14b", "fig6", "fig8b", "fig9a", "fig9b", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -369,5 +369,23 @@ func TestAllExperimentsRun(t *testing.T) {
 		if r.Table == nil || len(r.Table.Rows) == 0 {
 			t.Errorf("experiment %s produced no table rows", id)
 		}
+	}
+}
+
+// TestFactoredParity: the factored-evaluation experiment's oracle leg agrees
+// with the expanded dense-LU evaluation to 1e-8, and every factored power is
+// physical.
+func TestFactoredParity(t *testing.T) {
+	r := run(t, "factored")
+	if d := series(t, r, "parity_delta")[0].Y; d > 1e-8 {
+		t.Errorf("factored vs direct parity delta %g > 1e-8", d)
+	}
+	for _, p := range series(t, r, "factored_power") {
+		if p.Y <= 0 {
+			t.Errorf("k=%g factored power %g, want > 0", p.X, p.Y)
+		}
+	}
+	if len(r.Table.Rows) == 0 {
+		t.Errorf("empty table")
 	}
 }

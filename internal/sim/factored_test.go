@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/policy"
+)
+
+// heterogeneousSystem builds the masked k-part composite platform used by
+// the factored-simulation tests.
+func heterogeneousSystem(t *testing.T, k int) *core.System {
+	t.Helper()
+	sys, err := devices.HeterogeneousSystem(k, 2, core.TwoStateSR("web", 0.12, 0.3))
+	if err != nil {
+		t.Fatalf("HeterogeneousSystem(%d): %v", k, err)
+	}
+	return sys
+}
+
+// TestFactoredSimBitwiseEquivalence: a Model-free simulation of a factored
+// composite reproduces the Model-backed simulation exactly — same seed, same
+// trajectory, identical Stats — while compiling zero joint chains. Both
+// paths step the composite per part from one RNG stream, so the equality is
+// bit-for-bit, not statistical.
+func TestFactoredSimBitwiseEquivalence(t *testing.T) {
+	const slices = 20000
+
+	run := func(t *testing.T, direct bool) (*Stats, *core.FactoredSP) {
+		sys := heterogeneousSystem(t, 3)
+		fsp := sys.SP.(*core.FactoredSP)
+		ctrl := &policy.Constant{Cmd: 0}
+		var (
+			s   *Simulator
+			err error
+		)
+		if direct {
+			s, err = NewDirect(sys, ctrl, Config{Seed: 99})
+		} else {
+			m, berr := sys.Build()
+			if berr != nil {
+				t.Fatalf("Build: %v", berr)
+			}
+			s, err = New(m, ctrl, Config{Seed: 99})
+		}
+		if err != nil {
+			t.Fatalf("constructor: %v", err)
+		}
+		st, err := s.Run(slices)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return st, fsp
+	}
+
+	lazy, lazySP := run(t, true)
+	eager, _ := run(t, false)
+
+	if got := lazySP.CompiledChains(); got != 0 {
+		t.Fatalf("direct simulation compiled %d joint chains, want 0", got)
+	}
+	if !reflect.DeepEqual(lazy, eager) {
+		t.Fatalf("lazy and eager runs diverge:\nlazy:  %+v\neager: %+v", lazy, eager)
+	}
+	if lazy.Slices != slices {
+		t.Fatalf("ran %d slices, want %d", lazy.Slices, slices)
+	}
+}
+
+// TestNewDirectMetricsMatchModel: the direct simulator's on-demand metric
+// accounting equals the Model's tabulated metrics on a shared trajectory —
+// every metric name, to machine precision.
+func TestNewDirectMetricsMatchModel(t *testing.T) {
+	sys := heterogeneousSystem(t, 3)
+	m, err := sys.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ctrl := &policy.Constant{Cmd: 1 % m.A}
+	sEager, err := New(m, ctrl, Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sLazy, err := NewDirect(sys, ctrl, Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("NewDirect: %v", err)
+	}
+	a, err := sEager.Run(5000)
+	if err != nil {
+		t.Fatalf("eager Run: %v", err)
+	}
+	b, err := sLazy.Run(5000)
+	if err != nil {
+		t.Fatalf("lazy Run: %v", err)
+	}
+	if len(a.Averages) != len(b.Averages) {
+		t.Fatalf("metric sets differ: %d vs %d", len(a.Averages), len(b.Averages))
+	}
+	for name, want := range a.Averages {
+		got, ok := b.Averages[name]
+		if !ok {
+			t.Fatalf("direct run lacks metric %q", name)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("metric %q: direct %g vs model %g", name, got, want)
+		}
+	}
+}
+
+// TestNewDirectLargeComposite: a k=6 heterogeneous platform (9720 composed
+// states) simulates Model-free; compiling its Model would build six joint
+// CSR chains of ~1.3M nonzeros together.
+func TestNewDirectLargeComposite(t *testing.T) {
+	sys := heterogeneousSystem(t, 6)
+	fsp := sys.SP.(*core.FactoredSP)
+	s, err := NewDirect(sys, &policy.Constant{Cmd: 0}, Config{Seed: 17})
+	if err != nil {
+		t.Fatalf("NewDirect: %v", err)
+	}
+	st, err := s.Run(20000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := fsp.CompiledChains(); got != 0 {
+		t.Fatalf("large direct simulation compiled %d joint chains", got)
+	}
+	if st.Averages[core.MetricPower] <= 0 {
+		t.Fatalf("power average %g, want > 0", st.Averages[core.MetricPower])
+	}
+	sum := 0.0
+	for _, f := range st.Occupancy {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("occupancy sums to %g", sum)
+	}
+}
+
+// TestNewDirectValidation: the Model-free constructor enforces the same
+// preconditions as New.
+func TestNewDirectValidation(t *testing.T) {
+	sys := heterogeneousSystem(t, 3)
+	if _, err := NewDirect(sys, &policy.Constant{}, Config{Initial: core.State{SP: -1}}); err == nil {
+		t.Errorf("bad initial state accepted")
+	}
+	bad := *sys
+	bad.QueueCap = -1
+	if _, err := NewDirect(&bad, &policy.Constant{}, Config{}); err == nil {
+		t.Errorf("invalid system accepted")
+	}
+}

@@ -76,25 +76,41 @@ func (s *Stats) LossFraction() float64 {
 	return float64(s.Lost) / float64(s.Arrived)
 }
 
-// Simulator runs a controller against a compiled system model.
+// metricEval computes one metric at a (state, command) pair. Model-backed
+// simulators read the precomputed N×A tables by index; direct simulators
+// evaluate the system's metric functions on the decoded state.
+type metricEval func(idx int, st core.State, cmd int) float64
+
+// Simulator runs a controller against a power-managed system — either a
+// compiled Model (New) or the System itself, Model-free (NewDirect).
 type Simulator struct {
-	model *core.Model
-	ctrl  policy.Controller
-	cfg   Config
-	rng   *rand.Rand
-	// spChains caches the provider's per-command CSR chains: the step loop
-	// samples SP transitions from sparse rows (Provider does not expose
-	// dense rows, and re-compressing per step would dominate the run).
+	sys     *core.System
+	ctrl    policy.Controller
+	cfg     Config
+	rng     *rand.Rand
+	nCmds   int
+	metrics map[string]metricEval
+	// spChains caches the provider's per-command CSR chains for plain
+	// providers: the step loop samples SP transitions from sparse rows
+	// (Provider does not expose dense rows, and re-compressing per step
+	// would dominate the run). nil when the provider is factored.
 	spChains []*mat.CSR
+	// fsp is set when the provider is a FactoredSP: SP transitions then
+	// sample each part's row independently (one uniform per part, factor
+	// order) instead of walking a joint row — O(Σ out-degreeᵢ) per step and
+	// no joint CSR is ever compiled. Model-backed simulators use the same
+	// per-part stepping, so lazy and eager runs share trajectories
+	// bit for bit.
+	fsp *core.FactoredSP
 }
 
-// New builds a simulator for the compiled model m driven by ctrl.
-func New(m *core.Model, ctrl policy.Controller, cfg Config) (*Simulator, error) {
-	sys := m.Sys
+// validateConfig range-checks the initial state and installs the default
+// arrival→SR-state quantizer.
+func validateConfig(sys *core.System, cfg *Config) error {
 	if cfg.Initial.SP < 0 || cfg.Initial.SP >= sys.SP.N() ||
 		cfg.Initial.SR < 0 || cfg.Initial.SR >= sys.SR.N() ||
 		cfg.Initial.Q < 0 || cfg.Initial.Q > sys.QueueCap {
-		return nil, fmt.Errorf("sim: initial state %+v out of range", cfg.Initial)
+		return fmt.Errorf("sim: initial state %+v out of range", cfg.Initial)
 	}
 	if cfg.SRStateOf == nil {
 		maxSR := sys.SR.N() - 1
@@ -105,17 +121,65 @@ func New(m *core.Model, ctrl policy.Controller, cfg Config) (*Simulator, error) 
 			return arrivals
 		}
 	}
-	chains := make([]*mat.CSR, sys.SP.A())
-	for a := range chains {
-		chains[a] = sys.SP.Chain(a)
+	return nil
+}
+
+// newSimulator wires the parts shared by New and NewDirect: the SP stepping
+// strategy (per-part for factored providers, cached sparse rows otherwise)
+// and the RNG.
+func newSimulator(sys *core.System, ctrl policy.Controller, cfg Config, metrics map[string]metricEval) *Simulator {
+	s := &Simulator{
+		sys:     sys,
+		ctrl:    ctrl,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nCmds:   sys.SP.A(),
+		metrics: metrics,
 	}
-	return &Simulator{
-		model:    m,
-		ctrl:     ctrl,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		spChains: chains,
-	}, nil
+	if fsp, ok := sys.SP.(*core.FactoredSP); ok {
+		s.fsp = fsp
+	} else {
+		s.spChains = make([]*mat.CSR, sys.SP.A())
+		for a := range s.spChains {
+			s.spChains[a] = sys.SP.Chain(a)
+		}
+	}
+	return s
+}
+
+// New builds a simulator for the compiled model m driven by ctrl. Metrics
+// come from the model's precomputed tables.
+func New(m *core.Model, ctrl policy.Controller, cfg Config) (*Simulator, error) {
+	sys := m.Sys
+	if err := validateConfig(sys, &cfg); err != nil {
+		return nil, err
+	}
+	metrics := make(map[string]metricEval, len(m.Metrics))
+	for name, table := range m.Metrics {
+		table := table
+		metrics[name] = func(idx int, _ core.State, cmd int) float64 { return table.At(idx, cmd) }
+	}
+	return newSimulator(sys, ctrl, cfg, metrics), nil
+}
+
+// NewDirect builds a simulator straight from the system, without compiling a
+// Model: metrics are evaluated on demand from core.MetricFns, and a factored
+// provider steps per part — nothing Π|Sᵢ|-sized is ever allocated, so
+// composites far beyond Build's reach simulate fine. The accounting is
+// identical to the Model-backed path (MetricFns is what Build tabulates).
+func NewDirect(sys *core.System, ctrl policy.Controller, cfg Config) (*Simulator, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateConfig(sys, &cfg); err != nil {
+		return nil, err
+	}
+	metrics := make(map[string]metricEval, 8)
+	for name, fn := range sys.MetricFns() {
+		fn := fn
+		metrics[name] = func(_ int, st core.State, cmd int) float64 { return fn(st, cmd) }
+	}
+	return newSimulator(sys, ctrl, cfg, metrics), nil
 }
 
 // run is the common loop. nextArrivals returns the arrival count of slice
@@ -134,15 +198,15 @@ type accumulator struct {
 	occupancy  []int64
 }
 
-func newAccumulator(m *core.Model) *accumulator {
-	sums := make(map[string]float64, len(m.Metrics))
-	for name := range m.Metrics {
+func (s *Simulator) newAccumulator() *accumulator {
+	sums := make(map[string]float64, len(s.metrics))
+	for name := range s.metrics {
 		sums[name] = 0
 	}
 	return &accumulator{
 		metricSums: sums,
-		cmdCounts:  make([]int64, m.A),
-		occupancy:  make([]int64, m.N),
+		cmdCounts:  make([]int64, s.nCmds),
+		occupancy:  make([]int64, s.sys.NumStates()),
 	}
 }
 
@@ -175,7 +239,7 @@ func (ac *accumulator) stats(sessions int) *Stats {
 // done. The queue is tracked as a FIFO of arrival timestamps so waiting
 // times are exact.
 func (s *Simulator) session(ac *accumulator, src arrivalSource) {
-	sys := s.model.Sys
+	sys := s.sys
 	s.ctrl.Reset()
 	st := s.cfg.Initial
 	// Arrival timestamps of currently enqueued requests.
@@ -193,14 +257,14 @@ func (s *Simulator) session(ac *accumulator, src arrivalSource) {
 			Time:     t,
 		}
 		cmd := s.ctrl.Command(obs)
-		if cmd < 0 || cmd >= s.model.A {
-			panic(fmt.Sprintf("sim: controller issued command %d outside [0,%d)", cmd, s.model.A))
+		if cmd < 0 || cmd >= s.nCmds {
+			panic(fmt.Sprintf("sim: controller issued command %d outside [0,%d)", cmd, s.nCmds))
 		}
 
 		// Metric accounting at the current (state, command) pair.
 		idx := sys.Index(st)
-		for name, table := range s.model.Metrics {
-			ac.metricSums[name] += table.At(idx, cmd)
+		for name, ev := range s.metrics {
+			ac.metricSums[name] += ev(idx, st, cmd)
 		}
 		ac.cmdCounts[cmd]++
 		ac.occupancy[idx]++
@@ -216,6 +280,8 @@ func (s *Simulator) session(ac *accumulator, src arrivalSource) {
 		var spNext int
 		if row := s.hookRow(st.SP, cmd, st.SR); row != nil {
 			spNext = sampleRow(s.rng, row)
+		} else if s.fsp != nil {
+			spNext = s.fsp.SampleNext(st.SP, cmd, s.rng.Float64)
 		} else {
 			cols, vals := s.spChains[cmd].RowNZ(st.SP)
 			spNext = sampleRowNZ(s.rng, cols, vals)
@@ -276,10 +342,10 @@ func (s *Simulator) session(ac *accumulator, src arrivalSource) {
 // hookRow returns the SPRow override for (p, cmd, r), or nil when the
 // system has no hook (or the hook defers to the commanded dynamics).
 func (s *Simulator) hookRow(p, cmd, r int) mat.Vector {
-	if s.model.Sys.SPRow == nil {
+	if s.sys.SPRow == nil {
 		return nil
 	}
-	return s.model.Sys.SPRow(p, cmd, r)
+	return s.sys.SPRow(p, cmd, r)
 }
 
 func sampleRow(rng *rand.Rand, row []float64) int {
@@ -313,8 +379,8 @@ func (s *Simulator) Run(slices int64) (*Stats, error) {
 	if slices <= 0 {
 		return nil, fmt.Errorf("sim: horizon %d must be positive", slices)
 	}
-	ac := newAccumulator(s.model)
-	sys := s.model.Sys
+	ac := s.newAccumulator()
+	sys := s.sys
 	sr := s.cfg.Initial.SR
 	s.session(ac, func(t int64) (int, int, bool) {
 		if t+1 >= slices {
@@ -337,8 +403,8 @@ func (s *Simulator) RunSessions(alpha float64, sessions int) (*Stats, error) {
 	if sessions <= 0 {
 		return nil, fmt.Errorf("sim: session count %d must be positive", sessions)
 	}
-	ac := newAccumulator(s.model)
-	sys := s.model.Sys
+	ac := s.newAccumulator()
+	sys := s.sys
 	for i := 0; i < sessions; i++ {
 		sr := s.cfg.Initial.SR
 		s.session(ac, func(t int64) (int, int, bool) {
@@ -365,7 +431,7 @@ func (s *Simulator) RunTrace(arrivals []int) (*Stats, error) {
 			return nil, fmt.Errorf("sim: negative arrival count %d at slice %d", a, i)
 		}
 	}
-	ac := newAccumulator(s.model)
+	ac := s.newAccumulator()
 	s.session(ac, func(t int64) (int, int, bool) {
 		if t >= int64(len(arrivals))-1 {
 			return 0, 0, true
