@@ -304,6 +304,29 @@ func BenchmarkHeterogeneous(b *testing.B) {
 			}
 		}
 	})
+	// solve-k5-mon is solve-k5 with a flight recorder attached at the
+	// default cadence — the monitor-overhead record. Its ns/op sits next
+	// to solve-k5 in BENCH.json, so benchtrend gates the observability
+	// layer's cost the same way it gates the solver itself (the monitor
+	// determinism tests prove the trajectory is unchanged; this leg
+	// proves the walltime is too).
+	b.Run("solve-k5-mon", func(b *testing.B) {
+		m, opts := solveK5(b)
+		mon := &countingMonitor{}
+		opts.LPMonitor = mon
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(m, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportSolveStats(b, res)
+				b.ReportMetric(float64(mon.events)/float64(b.N), "mon_events")
+			}
+		}
+	})
 	b.Run("solve-k6", func(b *testing.B) {
 		if testing.Short() {
 			b.Skip("skipping in -short mode: ~2 min per iteration")

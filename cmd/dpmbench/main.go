@@ -30,8 +30,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for synthetic workloads and simulation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	progress := flag.Bool("progress", false, "print live solve progress snapshots to stderr")
 	flag.Parse()
 
+	if *progress {
+		experiments.SetMonitor(cli.ProgressMonitor(os.Stderr, 0))
+	}
 	if err := run(*quick, *seed, *cpuprofile, *memprofile, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmbench: %v\n", err)
 		os.Exit(1)

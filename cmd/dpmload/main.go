@@ -11,7 +11,7 @@
 //	dpmload -url http://127.0.0.1:8080 [-model disk] [-conc 2,8] \
 //	        [-duration 5s | -requests 500] [-rate 0] \
 //	        [-mix hit=6,warm=2,cold=1,observe=1] [-timeout 30s] [-seed 1] \
-//	        [-bench-out BENCH.json] [-require-p99] [-q]
+//	        [-bench-out BENCH.json] [-require-p99] [-q] [-progress 2s]
 //
 // Closed loop by default (each worker issues its next request when the
 // previous response lands); -rate R switches to an open loop with R
@@ -49,15 +49,16 @@ func main() {
 	benchOut := flag.String("bench-out", "", "merge results into this BENCH.json")
 	requireP99 := flag.Bool("require-p99", false, "exit nonzero unless every run has a positive p99 and zero errors")
 	quiet := flag.Bool("q", false, "suppress the per-kind breakdown")
+	progress := flag.Duration("progress", 0, "print an interim req/s and p99 summary to stderr on this interval (0: off)")
 	flag.Parse()
 
-	if err := run(*url, *model, *conc, *duration, *requests, *rate, *mixSpec, *timeout, *seed, *benchOut, *requireP99, *quiet); err != nil {
+	if err := run(*url, *model, *conc, *duration, *requests, *rate, *mixSpec, *timeout, *seed, *benchOut, *requireP99, *quiet, *progress); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, model, conc string, duration time.Duration, requests int, rate float64, mixSpec string, timeout time.Duration, seed int64, benchOut string, requireP99, quiet bool) error {
+func run(url, model, conc string, duration time.Duration, requests int, rate float64, mixSpec string, timeout time.Duration, seed int64, benchOut string, requireP99, quiet bool, progress time.Duration) error {
 	levels, err := parseLevels(conc)
 	if err != nil {
 		return err
@@ -85,6 +86,12 @@ func run(url, model, conc string, duration time.Duration, requests int, rate flo
 			Mix:         mix,
 			Timeout:     timeout,
 			Seed:        seed,
+
+			ProgressEvery: progress,
+			Progress: func(p load.ProgressReport) {
+				fmt.Fprintf(os.Stderr, "progress %6.1fs: %6d reqs  %7.1f req/s  p50 %8.3fms  p99 %8.3fms\n",
+					p.Elapsed.Seconds(), p.Requests, p.ReqPerSec, p.P50MS, p.P99MS)
+			},
 		})
 		if err != nil {
 			return err

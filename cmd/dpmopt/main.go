@@ -31,15 +31,16 @@ func main() {
 	factor := flag.String("factorization", "auto", "simplex basis kernel: auto, dense, sparse, tableau")
 	pricing := flag.String("pricing", "auto", "simplex pricing rule: auto, dantzig, devex, partial")
 	maxPivots := flag.Int("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
+	progress := flag.Bool("progress", false, "print live solve progress snapshots to stderr")
 	flag.Parse()
 
-	if err := run(*device, *horizon, *minimize, *bounds, *p01, *p10, *factor, *pricing, *maxPivots); err != nil {
+	if err := run(*device, *horizon, *minimize, *bounds, *p01, *p10, *factor, *pricing, *maxPivots, *progress); err != nil {
 		fmt.Fprintf(os.Stderr, "dpmopt: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(device string, horizon float64, minimize, bounds string, p01, p10 float64, factor, pricing string, maxPivots int) error {
+func run(device string, horizon float64, minimize, bounds string, p01, p10 float64, factor, pricing string, maxPivots int, progress bool) error {
 	d, err := cli.NewDevice(device, p01, p10)
 	if err != nil {
 		return err
@@ -65,7 +66,7 @@ func run(device string, horizon float64, minimize, bounds string, p01, p10 float
 		obj = core.Objective{Metric: rest, Sense: lp.Maximize}
 	}
 
-	res, err := core.Optimize(m, core.Options{
+	opts := core.Options{
 		Alpha:           core.HorizonToAlpha(horizon),
 		Initial:         core.Delta(m.N, d.Sys.Index(d.Initial)),
 		Objective:       obj,
@@ -73,7 +74,11 @@ func run(device string, horizon float64, minimize, bounds string, p01, p10 float
 		LPFactorization: lpFactor,
 		LPPricing:       lpPricing,
 		LPMaxPivots:     maxPivots,
-	})
+	}
+	if progress {
+		opts.LPMonitor = cli.ProgressMonitor(os.Stderr, 0)
+	}
+	res, err := core.Optimize(m, opts)
 	if err != nil {
 		return err
 	}

@@ -19,7 +19,11 @@
 //     selected by functional options or by problem size, plus
 //     optimal-basis export/import (lp.Basis) so the closely related LPs
 //     of a Pareto sweep warm-start each other, with dual-simplex
-//     restoration when a bound change breaks feasibility; the legacy
+//     restoration when a bound change breaks feasibility; a per-solve
+//     flight recorder (lp.WithMonitor) streams read-only iteration
+//     snapshots — pivots, objective, infeasibilities, and the sparse
+//     kernel's numerical-health counters (mat.HealthStats) — without
+//     perturbing the pivot trajectory; the legacy
 //     dense tableau survives behind lp.FactorTableau for parity tests and
 //     benchmarks;
 //   - internal/sweep — the concurrent sweep engine: a bounded
@@ -68,9 +72,11 @@
 //     restarts (-cache-file).
 //     Endpoints: POST /v1/models, GET /v1/models,
 //     POST /v1/models/{id}/observe, POST /v1/optimize, POST /v1/sweep,
+//     GET /v1/solves (live solve table + event journal),
+//     DELETE /v1/solves/{id} (cancel one in-flight solve),
 //     GET /v1/healthz, GET /v1/stats, GET /metrics, GET /v1/trace — see
-//     the README's "Serving mode" section for curl examples and cache
-//     semantics;
+//     the README's "Serving mode" and "Live solve introspection"
+//     sections for curl examples and cache semantics;
 //   - internal/online — the streaming adaptation subsystem behind the
 //     observe endpoint: an incremental exponentially-decayed form of the
 //     trace extractor (O(1) per slice), a drift controller comparing the
@@ -84,8 +90,10 @@
 //     per-stage timing annotations; last-N retrieval via GET /v1/trace),
 //     lock-cheap log-bucketed latency/pivot histograms exported with
 //     p50/p90/p99 on /v1/stats and as Prometheus histogram series on
-//     /metrics, and structured slog-based debug logging that the
-//     env-gated LPDEBUG/LUDEBUG streams route through;
+//     /metrics, gauges and a bounded event journal backing the live
+//     /v1/solves table (watchable with cmd/dpmtop), and structured
+//     slog-based debug logging that the env-gated LPDEBUG/LUDEBUG
+//     streams route through;
 //   - internal/load — the closed-/open-loop load generator behind
 //     cmd/dpmload, driving mixed exact-hit/warm/cold/observe traffic and
 //     merging measured req/s and latency quantiles into BENCH.json as

@@ -78,6 +78,15 @@ type Options struct {
 	// is bit-identical at every worker count, so this is purely a throughput
 	// knob.
 	LPPricingWorkers int
+	// LPMonitor attaches a solve flight recorder (lp.WithMonitor): a
+	// callback observing iteration snapshots at every refactorization and
+	// every LPMonitorEvery pivots. Purely observational — an attached
+	// monitor never changes the pivot trajectory — and runtime-only:
+	// servers must not fingerprint it into cache keys.
+	LPMonitor lp.Monitor
+	// LPMonitorEvery sets the monitor's "progress" pivot cadence
+	// (0 = the lp default of 64).
+	LPMonitorEvery int
 }
 
 // lpSolver builds the configured lp.Solver for these options.
@@ -87,6 +96,8 @@ func (o *Options) lpSolver() *lp.Solver {
 		lp.WithPricing(o.LPPricing),
 		lp.WithMaxPivots(o.LPMaxPivots),
 		lp.WithPricingWorkers(o.LPPricingWorkers),
+		lp.WithMonitor(o.LPMonitor),
+		lp.WithMonitorEvery(o.LPMonitorEvery),
 	)
 }
 

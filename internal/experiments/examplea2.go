@@ -30,7 +30,7 @@ func ExampleA2(cfg Config) (*Result, error) {
 	alpha := core.HorizonToAlpha(1e5)
 	q0 := core.Delta(m.N, sys.Index(core.State{SP: 0, SR: 0, Q: 0}))
 
-	r, err := core.Optimize(m, core.Options{
+	r, err := core.Optimize(m, withMonitor(core.Options{
 		Alpha:     alpha,
 		Initial:   q0,
 		Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
@@ -38,7 +38,7 @@ func ExampleA2(cfg Config) (*Result, error) {
 			{Metric: core.MetricPenalty, Rel: lp.LE, Value: 0.5},
 			{Metric: core.MetricLoss, Rel: lp.LE, Value: 0.3},
 		},
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,25 @@ import (
 	"repro/internal/lp"
 )
 
+// progressMonitor, when non-nil, rides along on every experiment
+// optimization as core.Options.LPMonitor. It is a package-level hook rather
+// than a Config field because several experiments solve inside helpers and
+// sweep.Map closures that never see the Config; set once before Run
+// (dpmbench's -progress flag) and never mutated mid-run.
+var progressMonitor lp.Monitor
+
+// SetMonitor attaches a solve flight recorder to every subsequent
+// experiment optimization (nil detaches). Monitors are observational only —
+// pivot trajectories and results are bit-identical either way — so this
+// never changes a reproduced table.
+func SetMonitor(m lp.Monitor) { progressMonitor = m }
+
+// withMonitor threads the package monitor into one solve's options.
+func withMonitor(o core.Options) core.Options {
+	o.LPMonitor = progressMonitor
+	return o
+}
+
 // Config controls experiment scale.
 type Config struct {
 	// Quick shrinks horizons, sweep densities and simulation lengths for

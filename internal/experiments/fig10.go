@@ -50,12 +50,12 @@ func Fig10(cfg Config) (*Result, error) {
 	tbl := NewTable("policy", "parameter", "power (W)", "penalty", "source")
 
 	simSeed := cfg.Seed + 55
-	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+	pts, err := sweep.Pareto(context.Background(), m, withMonitor(core.Options{
 		Alpha:          alpha,
 		Initial:        q0,
 		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 		SkipEvaluation: true,
-	}, core.MetricPenalty, lp.LE, []float64{0.002, 0.01, 0.03, 0.08}, paretoCfg())
+	}), core.MetricPenalty, lp.LE, []float64{0.002, 0.01, 0.03, 0.08}, paretoCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -55,13 +55,13 @@ func minPowerBaseline(cfg devices.BaselineConfig, alpha float64, bounds []core.B
 	if err != nil {
 		return solvedPower{}, err
 	}
-	r, err := core.Optimize(m, core.Options{
+	r, err := core.Optimize(m, withMonitor(core.Options{
 		Alpha:          alpha,
 		Initial:        q0,
 		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 		Bounds:         bounds,
 		SkipEvaluation: true,
-	})
+	}))
 	if err != nil {
 		if r != nil && r.Status == lp.Infeasible {
 			return solvedPower{power: math.Inf(1), res: r}, nil

@@ -145,12 +145,12 @@ func Fig13b(cfg Config) (*Result, error) {
 			if err != nil {
 				return solved{}, err
 			}
-			r, err := core.Optimize(m, core.Options{
+			r, err := core.Optimize(m, withMonitor(core.Options{
 				Alpha:          alpha,
 				Initial:        core.Delta(m.N, 0),
 				Objective:      core.Objective{Metric: metricCombined, Sense: lp.Minimize},
 				SkipEvaluation: true,
-			})
+			}))
 			if err != nil {
 				return solved{}, err
 			}

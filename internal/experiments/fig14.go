@@ -70,7 +70,7 @@ func Fig14a(cfg Config) (*Result, error) {
 	cells, err := sweep.Map(context.Background(), sweep.Config{}, len(trapProbs)*len(lossBounds),
 		func(_ context.Context, i int) (cell, error) {
 			tp, lb := trapProbs[i/len(lossBounds)], lossBounds[i%len(lossBounds)]
-			r, err := core.Optimize(m, core.Options{
+			r, err := core.Optimize(m, withMonitor(core.Options{
 				Alpha:     1 - tp,
 				Initial:   q0,
 				Objective: core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
@@ -79,7 +79,7 @@ func Fig14a(cfg Config) (*Result, error) {
 					{Metric: core.MetricLoss, Rel: lp.LE, Value: lb},
 				},
 				SkipEvaluation: true,
-			})
+			}))
 			if err != nil {
 				return cell{}, nil // rendered as an infeasible row, as before
 			}

@@ -52,13 +52,13 @@ func Fig6(cfg Config) (*Result, error) {
 
 	powers := make([][]float64, len(lossBounds))
 	for li, lb := range lossBounds {
-		opts := core.Options{
+		opts := withMonitor(core.Options{
 			Alpha:          alpha,
 			Initial:        q0,
 			Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 			Bounds:         []core.Bound{{Metric: core.MetricLoss, Rel: lp.LE, Value: lb}},
 			SkipEvaluation: true,
-		}
+		})
 		pts, err := core.ParetoSweep(m, opts, core.MetricPenalty, lp.LE, penBounds)
 		if err != nil {
 			return nil, err

@@ -79,13 +79,13 @@ func Fig8b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseOpts := core.Options{
+	baseOpts := withMonitor(core.Options{
 		Alpha:            alpha,
 		Initial:          q0,
 		Objective:        core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 		UnvisitedCommand: devices.DiskGoActive,
 		SkipEvaluation:   true,
-	}
+	})
 	penLo := evAlways.Average(core.MetricPenalty) * 1.1
 	penHi := 0.5
 	numPts := pick(cfg, 9, 6)

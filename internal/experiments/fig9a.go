@@ -76,12 +76,12 @@ func Fig9a(cfg Config) (*Result, error) {
 	for i, frac := range fractions {
 		floors[i] = frac * busy
 	}
-	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+	pts, err := sweep.Pareto(context.Background(), m, withMonitor(core.Options{
 		Alpha:          alpha,
 		Initial:        q0,
 		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 		SkipEvaluation: true,
-	}, devices.WebMetricThroughput, lp.GE, floors, paretoCfg())
+	}), devices.WebMetricThroughput, lp.GE, floors, paretoCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -51,12 +51,12 @@ func Fig9b(cfg Config) (*Result, error) {
 	penBounds := pick(cfg,
 		[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08},
 		[]float64{0.002, 0.01, 0.035, 0.08})
-	pts, err := sweep.Pareto(context.Background(), m, core.Options{
+	pts, err := sweep.Pareto(context.Background(), m, withMonitor(core.Options{
 		Alpha:          alpha,
 		Initial:        q0,
 		Objective:      core.Objective{Metric: core.MetricPower, Sense: lp.Minimize},
 		SkipEvaluation: true,
-	}, core.MetricPenalty, lp.LE, penBounds, paretoCfg())
+	}), core.MetricPenalty, lp.LE, penBounds, paretoCfg())
 	if err != nil {
 		return nil, err
 	}

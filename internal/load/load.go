@@ -77,6 +77,24 @@ type Config struct {
 	Timeout     time.Duration // per-request budget (default 30s)
 	Seed        int64         // rng seed (default 1)
 	Client      *http.Client  // default http.DefaultClient with Timeout
+
+	// ProgressEvery, when positive and Progress is set, emits an interim
+	// ProgressReport on that interval while the run is in flight. The
+	// report is assembled by merging the workers' private histograms into a
+	// scratch one (histogram recording is atomic, so the merge races with
+	// nothing), leaving the measurement path untouched.
+	ProgressEvery time.Duration
+	Progress      func(ProgressReport)
+}
+
+// ProgressReport is one interim snapshot of a running load: completed
+// requests, offered rate so far, and latency quantiles so far.
+type ProgressReport struct {
+	Elapsed   time.Duration
+	Requests  int64
+	ReqPerSec float64
+	P50MS     float64
+	P99MS     float64
 }
 
 // KindStats is the per-kind slice of a Result.
@@ -190,6 +208,40 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	started := time.Now()
+	progressDone := make(chan struct{})
+	var progressWG sync.WaitGroup
+	if cfg.ProgressEvery > 0 && cfg.Progress != nil {
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			tick := time.NewTicker(cfg.ProgressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+				}
+				// Worker counters (w.n) are unsynchronized by design; the
+				// merged histogram's count is the race-free request total.
+				agg := obs.NewLatencyHistogram()
+				for _, w := range workers {
+					_ = agg.Merge(w.latency) // identical layouts; cannot fail
+				}
+				snap := agg.Snapshot()
+				rp := ProgressReport{
+					Elapsed:  time.Since(started),
+					Requests: snap.Count,
+					P50MS:    snap.Quantile(0.50) / 1e6,
+					P99MS:    snap.Quantile(0.99) / 1e6,
+				}
+				if s := rp.Elapsed.Seconds(); s > 0 {
+					rp.ReqPerSec = float64(snap.Count) / s
+				}
+				cfg.Progress(rp)
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	if cfg.Rate > 0 {
 		// Open loop: arrivals on a fixed schedule; a semaphore of Workers
@@ -241,6 +293,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	wg.Wait()
+	close(progressDone)
+	progressWG.Wait()
 	res.Elapsed = time.Since(started)
 
 	for _, w := range workers {

@@ -122,6 +122,113 @@ func TestParallelPricingDeterminism(t *testing.T) {
 	}
 }
 
+// recordingMonitor captures every flight-recorder snapshot.
+type recordingMonitor struct {
+	events []Snapshot
+}
+
+func (m *recordingMonitor) Observe(s Snapshot) { m.events = append(m.events, s) }
+
+// TestMonitorDeterminism is the no-trajectory-perturbation contract of the
+// flight recorder: for every corpus and wide instance, a solve with a
+// recording monitor attached at the tightest cadence (every pivot) must
+// reproduce the bare solve exactly — same pivot and refactorization counts,
+// bit-identical objective and solution vector, byte-identical exported
+// basis. The warm-start path is held to the same standard. Run under -race
+// this also proves snapshots read no state the pivot loop is writing
+// concurrently.
+func TestMonitorDeterminism(t *testing.T) {
+	probs := parityProblems()
+	for name, p := range wideProblems() {
+		probs[name] = p
+	}
+	solve := func(p *Problem, warm *Basis, opts ...Option) (*Solution, *Basis) {
+		t.Helper()
+		sol, basis, err := NewSolver(opts...).Solve(context.Background(), p, warm)
+		if err != nil && sol.Status != Infeasible && sol.Status != Unbounded {
+			t.Fatalf("solve: %v", err)
+		}
+		return sol, basis
+	}
+	compare := func(tag string, bare, mon *Solution, bareBasis, monBasis *Basis) {
+		t.Helper()
+		if mon.Status != bare.Status {
+			t.Errorf("%s: status %v, bare %v", tag, mon.Status, bare.Status)
+			return
+		}
+		if mon.Iterations != bare.Iterations {
+			t.Errorf("%s: pivots %d, bare %d", tag, mon.Iterations, bare.Iterations)
+		}
+		if mon.Refactorizations != bare.Refactorizations {
+			t.Errorf("%s: refactorizations %d, bare %d", tag, mon.Refactorizations, bare.Refactorizations)
+		}
+		if mon.Objective != bare.Objective {
+			t.Errorf("%s: objective %v, bare %v (not bit-identical)", tag, mon.Objective, bare.Objective)
+		}
+		for j := range bare.X {
+			if mon.X[j] != bare.X[j] {
+				t.Errorf("%s: x[%d] = %v, bare %v (not bit-identical)", tag, j, mon.X[j], bare.X[j])
+				break
+			}
+		}
+		switch {
+		case (monBasis == nil) != (bareBasis == nil):
+			t.Errorf("%s: basis presence %v, bare %v", tag, monBasis != nil, bareBasis != nil)
+		case monBasis != nil:
+			got, err1 := monBasis.MarshalBinary()
+			want, err2 := bareBasis.MarshalBinary()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: marshal: %v / %v", tag, err1, err2)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: basis differs from bare solve", tag)
+			}
+		}
+	}
+	for name, p := range probs {
+		bare, bareBasis := solve(p, nil)
+		rec := &recordingMonitor{}
+		mon, monBasis := solve(p, nil, WithMonitor(rec), WithMonitorEvery(1))
+		compare(name, bare, mon, bareBasis, monBasis)
+
+		// The monitor must have seen a coherent event stream: balanced
+		// start/finish pairs and non-decreasing pivot counts per attempt.
+		starts, finishes := 0, 0
+		pivots := 0
+		for _, ev := range rec.events {
+			switch ev.Event {
+			case "start":
+				starts++
+				pivots = 0
+			case "finish":
+				finishes++
+			}
+			if ev.Pivots < pivots {
+				t.Errorf("%s: pivot counter went backwards within an attempt (%d after %d)", name, ev.Pivots, pivots)
+			}
+			pivots = ev.Pivots
+		}
+		if starts == 0 || starts != finishes {
+			t.Errorf("%s: %d start events vs %d finish events", name, starts, finishes)
+		}
+		if bare.Status == Optimal && bare.Iterations > 0 && len(rec.events) <= 2 {
+			t.Errorf("%s: only %d events for a %d-pivot solve at cadence 1", name, len(rec.events), bare.Iterations)
+		}
+
+		// Warm restarts must be equally untouched by an attached monitor.
+		if bareBasis == nil {
+			continue
+		}
+		warmBare, warmBareBasis := solve(p, bareBasis)
+		warmRec := &recordingMonitor{}
+		warmMon, warmMonBasis := solve(p, bareBasis, WithMonitor(warmRec), WithMonitorEvery(1))
+		compare(name+"/warm", warmBare, warmMon, warmBareBasis, warmMonBasis)
+		if len(warmRec.events) == 0 {
+			t.Errorf("%s/warm: monitor saw no events", name)
+		}
+	}
+}
+
 // TestWideProblemsEngageParallelPricing guards the suite above against
 // rotting into a sequential-only test: the wide instances must actually
 // cross the pool's fan-out threshold with slack, and must take real pivots

@@ -63,6 +63,11 @@ type Factorizer interface {
 	// NNZ reports the stored nonzeros of the current factorization (m² for
 	// the dense kernel), the fill-in statistic surfaced in Solution.
 	NNZ() int
+	// Health reports the kernel's numerical-health record, with lifetime
+	// counters (FT rejections, hyper/dense solve counts) accumulated across
+	// refactorizations of this solve. The dense kernel, which carries no
+	// such instrumentation, returns the zero value.
+	Health() mat.HealthStats
 }
 
 // eta is one product-form basis update: the basis column at row r was
@@ -158,6 +163,8 @@ func (f *denseFactorizer) Updates() int { return len(f.etas) }
 
 func (f *denseFactorizer) NNZ() int { return f.m * f.m }
 
+func (f *denseFactorizer) Health() mat.HealthStats { return mat.HealthStats{} }
+
 // sparseFactorizer wraps mat.SparseLU: Markowitz-ordered sparse LU with
 // threshold partial pivoting, updated in place by Forrest–Tomlin column
 // replacements. tau is the pivot threshold (raised in conservative mode to
@@ -165,6 +172,7 @@ func (f *denseFactorizer) NNZ() int { return f.m * f.m }
 type sparseFactorizer struct {
 	tau    float64
 	f      *mat.SparseLU
+	acc    mat.HealthStats                  // counter totals of retired factorizations
 	debugf func(format string, args ...any) // context-bound LUDEBUG sink, set via setContext
 }
 
@@ -184,10 +192,17 @@ func (s *sparseFactorizer) setContext(ctx context.Context) {
 }
 
 func (s *sparseFactorizer) Refactor(a *mat.CSC, basis []int) error {
+	if s.f != nil {
+		// The retiring factorization's lifetime counters fold into the
+		// accumulator so Health reports per-solve totals, not just the
+		// activity since the last refactorization.
+		s.acc.AddCounters(s.f.Health())
+	}
 	f, err := mat.FactorColumns(len(basis), func(i int) ([]int, []float64) {
 		return a.ColNZ(basis[i])
 	}, s.tau)
 	if err != nil {
+		s.f = nil
 		return err
 	}
 	f.Debugf = s.debugf
@@ -207,11 +222,25 @@ func (s *sparseFactorizer) Update(row int, w mat.Vector, rows []int, vals []floa
 	return s.f.Update(row, rows, vals)
 }
 
-func (s *sparseFactorizer) Updates() int { return s.f.Updates() }
+func (s *sparseFactorizer) Updates() int {
+	if s.f == nil {
+		return 0
+	}
+	return s.f.Updates()
+}
 
 func (s *sparseFactorizer) NNZ() int {
 	if s.f == nil {
 		return 0
 	}
 	return s.f.NNZ()
+}
+
+func (s *sparseFactorizer) Health() mat.HealthStats {
+	if s.f == nil {
+		return s.acc
+	}
+	h := s.f.Health()
+	h.AddCounters(s.acc)
+	return h
 }

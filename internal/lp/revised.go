@@ -24,7 +24,6 @@ package lp
 import (
 	"context"
 	"math"
-	"os"
 	"time"
 
 	"repro/internal/mat"
@@ -34,7 +33,7 @@ import (
 // lpDebug gates per-refactorization tracing (LPDEBUG=1). Lines go through
 // the obs structured logger on the solve context, so under the daemon they
 // carry the originating request's trace ID.
-var lpDebug = os.Getenv("LPDEBUG") != ""
+var lpDebug = obs.DebugOn("lp")
 
 // revised is the solver state for one solve.
 type revised struct {
@@ -84,6 +83,18 @@ type revised struct {
 	blandAlways   bool
 	conservative  bool
 	atScale       bool // m >= autoSparseMin: enable sparse-scale stabilization
+
+	// Flight recorder (see monitor.go). mon == nil — the default — keeps
+	// every hook down to a single pointer test.
+	mon       Monitor
+	monEvery  int        // "progress" pivot cadence
+	monLast   int        // iterations at the last progress snapshot
+	monStart  time.Time  // attempt start, for Snapshot.Elapsed
+	monCost   mat.Vector // active phase's cost vector, for Snapshot.Objective
+	monMaxCol int        // columns the active phase prices, for Snapshot.DualInf
+	monPhase  string
+	monStall  bool // stall event already emitted for the active phase
+	monDone   bool // finish event emitted
 }
 
 func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverConfig) *revised {
@@ -99,6 +110,14 @@ func newRevised(ctx context.Context, sf *stdForm, conservative bool, cfg solverC
 	}
 	r.deadline, r.hasDeadline = ctx.Deadline()
 	r.atScale = sf.m >= autoSparseMin
+	if cfg.monitor != nil {
+		r.mon = cfg.monitor
+		r.monEvery = cfg.monitorEvery
+		if r.monEvery <= 0 {
+			r.monEvery = defaultMonitorEvery
+		}
+		r.monStart = time.Now()
+	}
 	copy(r.basis, sf.initBasis)
 	if conservative {
 		r.refactorEvery = 10
@@ -279,6 +298,7 @@ func (r *revised) refactor() bool {
 		}
 	}
 	r.xB = xb
+	r.emit("refactor")
 	return true
 }
 
@@ -655,7 +675,12 @@ func (r *revised) runPhase(cost mat.Vector, maxCol int) Status {
 			}
 			r.recomputeD(cost)
 		}
+		r.emitProgress()
 		bland := r.blandAlways || iter > stallAfter
+		if bland && !r.blandAlways && !r.monStall && r.mon != nil {
+			r.monStall = true
+			r.emit("stall")
+		}
 		col := r.price(maxCol, bland)
 		if col < 0 {
 			return Optimal
@@ -723,6 +748,7 @@ func (r *revised) perturb() {
 	}
 	r.bWork = pb
 	r.perturbed = true
+	r.emit("perturb")
 }
 
 // restoreB undoes perturb: subsequent refactorizations recompute basic
@@ -738,12 +764,14 @@ func (r *revised) restoreB() {
 // actually paid.
 func (r *revised) solve() (sol *Solution) {
 	sol = &Solution{}
+	defer r.finishMon()
 	defer func() {
 		sol.Iterations = r.iterations
 		sol.Refactorizations = r.refactors
 		sol.FactorNNZ = r.fact.NNZ()
 		sol.Timings = r.tm
 	}()
+	r.emit("start")
 	if !r.conservative && r.atScale {
 		// Perturbation is an anti-degeneracy device for sparse-scale bases,
 		// where zero-length pivots can wander for tens of thousands of
@@ -759,6 +787,7 @@ func (r *revised) solve() (sol *Solution) {
 		return sol
 	}
 	if r.sf.na > 0 {
+		r.setMonPhase("phase1", r.sf.cost1, r.sf.nTot)
 		for {
 			st := r.runPhase(r.sf.cost1, r.sf.nTot)
 			if lpDebug {
@@ -821,6 +850,7 @@ func (r *revised) phase2() *Solution {
 	sol := &Solution{}
 	sol.Status = Numerical
 	for attempt := 0; attempt < 6; attempt++ {
+		r.setMonPhase("phase2", r.sf.cost2, r.sf.nv+r.sf.ns)
 		if !r.refactor() {
 			break
 		}
@@ -917,6 +947,7 @@ func (r *revised) dualFeasible() bool {
 func (r *revised) dualSimplex() bool {
 	real := r.sf.nv + r.sf.ns
 	limit := 1000 + 400*(r.sf.m+r.sf.nTot)
+	r.setMonPhase("dual", r.sf.cost2, real)
 	r.recomputeD(r.sf.cost2)
 	for iter := 0; ; iter++ {
 		if iter > limit || r.cancelled() || r.budgetExceeded() {
@@ -928,6 +959,7 @@ func (r *revised) dualSimplex() bool {
 			}
 			r.recomputeD(r.sf.cost2)
 		}
+		r.emitProgress()
 		row, worst := -1, -1e-9
 		for i, v := range r.xB {
 			if v < worst {

@@ -128,6 +128,8 @@ type solverConfig struct {
 	pricingWorkers int
 	maxPivots      int
 	wallClock      time.Duration
+	monitor        Monitor
+	monitorEvery   int
 }
 
 // Option configures a Solver (functional-options pattern).

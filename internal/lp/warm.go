@@ -111,6 +111,11 @@ func solveWarm(ctx context.Context, p *Problem, warm *Basis, cfg solverConfig) (
 	r := newRevised(ctx, sf, false, cfg)
 	copy(r.basis, warm.cols)
 	r.rebuildPos()
+	// The warm path skips r.solve(), so it owns its flight-recorder
+	// start/finish pair; a fallback to the cold path is a separate attempt
+	// with its own pair.
+	r.emit("start")
+	defer r.finishMon()
 	if !r.refactor() {
 		return nil, nil // singular basis matrix under the new data
 	}

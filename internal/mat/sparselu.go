@@ -41,7 +41,6 @@ package mat
 import (
 	"fmt"
 	"math"
-	"os"
 
 	"repro/internal/obs"
 )
@@ -49,7 +48,7 @@ import (
 // luDebug gates update-rejection tracing (LUDEBUG=1). Output goes through
 // the structured obs logger; when the owning solver installs a Debugf hook
 // the lines additionally carry that solve's trace and request IDs.
-var luDebug = os.Getenv("LUDEBUG") != ""
+var luDebug = obs.DebugOn("lu")
 
 // SparseLU holds a sparse LU factorization of a square matrix, ready to
 // solve B x = b and Bᵀ y = c and to absorb Forrest–Tomlin column updates.
@@ -113,6 +112,10 @@ type SparseLU struct {
 	// densified results, and the countdown to the next sparse re-probe.
 	spStreak int
 	spProbe  int
+
+	// Numerical-health record (see health.go): growth/diagonal fields set
+	// by FactorColumns, counters accumulated by Update and the solves.
+	health HealthStats
 
 	utouch []int // Update's re-elimination scatter touch list, reused
 }
@@ -342,6 +345,35 @@ func FactorColumns(n int, col func(j int) ([]int, []float64), tau float64) (*Spa
 		}
 		f.lRows[k] = compactInts(f.lRows[k])
 		f.lVals[k] = compactFloats(f.lVals[k])
+	}
+
+	// Health record: element growth (largest |U entry| after elimination
+	// over the largest |input entry|) and the diagonal magnitude range.
+	// One O(nnz) scan plus n binary searches — noise next to elimination.
+	finalMax := 0.0
+	for r := 0; r < n; r++ {
+		for _, v := range f.rowVals[r] {
+			if a := math.Abs(v); a > finalMax {
+				finalMax = a
+			}
+		}
+	}
+	if maxAbs > 0 {
+		f.health.GrowthFactor = finalMax / maxAbs
+	}
+	if n > 0 {
+		minD, maxD := math.Inf(1), 0.0
+		for k := 0; k < n; k++ {
+			v, _ := f.valueAt(f.rowAtPos[k], f.colAtPos[k])
+			a := math.Abs(v)
+			if a < minD {
+				minD = a
+			}
+			if a > maxD {
+				maxD = a
+			}
+		}
+		f.health.MinDiag, f.health.MaxDiag = minD, maxD
 	}
 	return f, nil
 }
@@ -804,6 +836,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 		pr := f.rowAtPos[p]
 		diag, ok := f.valueAt(pr, c)
 		if !ok || diag == 0 {
+			f.health.FTRejections++
 			if luDebug {
 				f.debugf("update reject missing diag at pos %d", p)
 			}
@@ -835,6 +868,7 @@ func (f *SparseLU) Update(slot int, rows []int, vals []float64) error {
 	// Stability: the rotated diagonal must carry real magnitude relative to
 	// the spike, and the elimination multipliers must not have exploded.
 	if newDiag == 0 || math.Abs(newDiag) < 1e-11*(spikeMax+1e-300) || growth > 1e8 {
+		f.health.FTRejections++
 		if luDebug {
 			f.debugf("update reject newDiag %g spikeMax %g growth %g etas %d", newDiag, spikeMax, growth, len(f.etas))
 		}

@@ -345,6 +345,7 @@ func (f *SparseLU) SolveSp(b, x *SpVec) {
 			f.applyForward(b.Val)
 			f.backwardDense(b.Val, x.Val, f.n-1)
 			x.Dense = true
+			f.health.DenseSolves++
 			return
 		}
 		f.spProbe = denseProbeEvery // this call probes the sparse path
@@ -354,6 +355,7 @@ func (f *SparseLU) SolveSp(b, x *SpVec) {
 		f.backwardDense(b.Val, x.Val, f.n-1)
 		x.Dense = true
 		f.spStreak++
+		f.health.DenseSolves++
 		return
 	}
 	f.ensureSpScratch()
@@ -387,6 +389,7 @@ func (f *SparseLU) SolveSp(b, x *SpVec) {
 			f.backwardDense(b.Val, x.Val, k-1)
 			x.Dense = true
 			f.spStreak++
+			f.health.DenseSolves++
 			return
 		}
 		for _, r2 := range f.colRows[c] {
@@ -402,6 +405,7 @@ func (f *SparseLU) SolveSp(b, x *SpVec) {
 	}
 	x.SortPattern()
 	f.spStreak = 0
+	f.health.HyperSolves++
 }
 
 // backwardDense runs the dense V backward substitution over positions
@@ -436,6 +440,7 @@ func (f *SparseLU) SolveTSp(c, y *SpVec) {
 	if c.Dense || len(c.Ind) > f.maxReach() {
 		copy(y.Val, f.SolveT(c.Val))
 		y.Dense = true
+		f.health.DenseSolves++
 		return
 	}
 	f.ensureSpScratch()
@@ -500,6 +505,7 @@ func (f *SparseLU) SolveTSp(c, y *SpVec) {
 		y.Dense = true
 		f.etaTDense(y.Val)
 		f.lTDense(y.Val)
+		f.health.DenseSolves++
 		return
 	}
 
@@ -562,6 +568,7 @@ func (f *SparseLU) SolveTSp(c, y *SpVec) {
 					y.Val[f.lPivRow[k2]] -= s
 				}
 				y.Dense = true
+				f.health.DenseSolves++
 				return
 			}
 			for _, k2 := range f.rowSteps[pr] {
@@ -571,6 +578,7 @@ func (f *SparseLU) SolveTSp(c, y *SpVec) {
 		y.Val[pr] -= s
 	}
 	y.SortPattern()
+	f.health.HyperSolves++
 }
 
 // etaTDense runs the dense eta-transpose pass of SolveT.

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Gauges is a registry of named in-flight gauges: integers that move up
+// when work starts and down when it finishes (solves in flight, per
+// endpoint). Unlike the histograms, which only see completed work, a gauge
+// is readable mid-flight — it is the "what is happening right now" surface
+// mirrored on /v1/stats and /metrics. The zero value is not usable; create
+// with NewGauges. All methods are safe for concurrent use.
+type Gauges struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewGauges returns an empty gauge registry.
+func NewGauges() *Gauges {
+	return &Gauges{m: make(map[string]int64)}
+}
+
+// Add moves the named gauge by delta, creating it at zero first. Nil-safe.
+func (g *Gauges) Add(name string, delta int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.m[name] += delta
+	g.mu.Unlock()
+}
+
+// Get returns the named gauge's current value (0 if never touched).
+func (g *Gauges) Get(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[name]
+}
+
+// Snapshot returns every gauge by name, sorted for deterministic export.
+func (g *Gauges) Snapshot() (names []string, values []int64) {
+	if g == nil {
+		return nil, nil
+	}
+	g.mu.Lock()
+	names = make([]string, 0, len(g.m))
+	for k := range g.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	values = make([]int64, len(names))
+	for i, k := range names {
+		values[i] = g.m[k]
+	}
+	g.mu.Unlock()
+	return names, values
+}

@@ -29,8 +29,18 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"sync/atomic"
 )
+
+// DebugOn reports whether debug tracing is enabled for a subsystem: the
+// environment variable strings.ToUpper(sub)+"DEBUG" is set and non-empty
+// (LPDEBUG=1, LUDEBUG=1, ...). It is the single gate every env-enabled
+// debug stream goes through, so all of them route their lines via Debugf
+// and carry trace/request IDs instead of interleaving anonymously.
+func DebugOn(sub string) bool {
+	return os.Getenv(strings.ToUpper(sub)+"DEBUG") != ""
+}
 
 // defaultLogger is the process-wide structured logger used by Debugf and by
 // callers that want a shared sink; it defaults to JSON lines on stderr at

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/online"
 )
 
@@ -19,6 +21,21 @@ type onlineEntry struct {
 	family  string
 	cfg     online.Config // effective (defaults applied)
 	created time.Time
+	relay   monitorRelay
+}
+
+// monitorRelay is the adapter's fixed lp.Monitor (optimization options are
+// frozen at adapter creation) forwarding to the flight-recorder row of the
+// observe request currently driving a refresh. Between requests it points
+// nowhere and snapshots drop.
+type monitorRelay struct {
+	target atomic.Pointer[solveFlight]
+}
+
+func (m *monitorRelay) Observe(sn lp.Snapshot) {
+	if f := m.target.Load(); f != nil {
+		f.Observe(sn)
+	}
 }
 
 // tuningConflict reports which estimator/budget field of the request, if
@@ -107,11 +124,18 @@ func (s *Server) onlineFor(e *modelEntry, req *ObserveRequest) (*onlineEntry, in
 		CheckEvery:     req.CheckEvery,
 		SolveBudget:    budget,
 	}
+	oe := &onlineEntry{family: family, cfg: cfg.WithDefaults(), created: time.Now()}
+	// Refresh solves report to whichever observe request is driving the
+	// adapter; the relay indirection exists because the adapter's options
+	// are fixed here, before any flight exists. Runtime-only — queryKey
+	// never fingerprints monitors, so the family is unaffected.
+	opts.LPMonitor = &oe.relay
+	opts.LPMonitorEvery = s.cfg.SolveMonitorEvery
 	adapter, err := online.New(rebuild, opts, cfg)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	oe := &onlineEntry{adapter: adapter, family: family, cfg: cfg.WithDefaults(), created: time.Now()}
+	oe.adapter = adapter
 	s.onlines[e.ID] = oe
 	return oe, 0, nil
 }
@@ -155,7 +179,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, err := oe.adapter.Observe(r.Context(), req.Counts)
+	// Register a flight-recorder row for any refresh this batch triggers;
+	// a batch the drift controller absorbs without solving never surfaces
+	// (the row only registers on the first monitor snapshot).
+	ctx, fl := s.solves.attach(r.Context(), e.ID, "observe")
+	oe.relay.target.Store(fl)
+	out, err := oe.adapter.Observe(ctx, req.Counts)
+	oe.relay.target.CompareAndSwap(fl, nil)
+	fl.done()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -24,6 +24,8 @@
 //	POST /v1/models/{id}/observe   ingest workload slices (online adaptation)
 //	POST /v1/optimize              one constrained policy optimization
 //	POST /v1/sweep                 a Pareto bound sweep (internal/sweep worker pool)
+//	GET  /v1/solves                live solve flight-recorder table
+//	DELETE /v1/solves/{id}         cancel one in-flight solve
 //	GET  /v1/healthz               liveness + model count
 //	GET  /v1/stats                 serving counters as JSON
 //	GET  /metrics                  the same counters, Prometheus text format
@@ -76,6 +78,10 @@ type Config struct {
 	// TraceBuffer bounds the ring of finished request traces retrievable
 	// via GET /v1/trace (default 256).
 	TraceBuffer int
+	// SolveMonitorEvery sets the flight recorder's "progress" snapshot
+	// cadence in pivots for solves the server runs (0 keeps the lp default
+	// of 64). Tests lower it to observe short solves mid-flight.
+	SolveMonitorEvery int
 	// AccessLog emits one structured log line per request (method, path,
 	// status, duration, trace ID) through the obs logger.
 	AccessLog bool
@@ -95,6 +101,7 @@ type Server struct {
 	flights *flightGroup
 	stats   counters
 	tele    *telemetry
+	solves  *solveTable
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -131,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   newSolveCache(cfg.CacheSize),
 		flights: newFlightGroup(),
 		tele:    newTelemetry(cfg.TraceBuffer),
+		solves:  newSolveTable(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		onlines: make(map[string]*onlineEntry),
@@ -156,6 +164,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/models/{model}/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/solves", s.handleSolves)
+	s.mux.HandleFunc("DELETE /v1/solves/{id}", s.handleSolveCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
@@ -445,7 +455,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// trace so the leader's solve spans land in it. (Joiners share the
 		// result, not the spans — their trace records cache="shared".)
 		ctx = obs.Reattach(ctx, reqCtx)
+		// Flight recorder: the solve registers itself in the live table on
+		// its first monitor snapshot and leaves on completion; DELETE
+		// /v1/solves/{id} cancels through this context.
+		ctx, fl := s.solves.attach(ctx, e.ID, "optimize")
+		defer fl.done()
 		o := opts
+		o.LPMonitor = fl
+		o.LPMonitorEvery = s.cfg.SolveMonitorEvery
 		_, wsp := obs.StartSpan(ctx, "warm-lookup")
 		o.WarmBasis = s.cache.nearest(family, vals)
 		wsp.Set("found", o.WarmBasis != nil)
@@ -611,7 +628,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		_, ssp := obs.StartSpan(ctx, "sweep")
 		ssp.Set("points", len(req.Sweep.Values))
 		defer ssp.End()
+		// One flight-recorder row covers the whole sweep: point solves all
+		// feed it, so pivots accumulate across points (concurrent workers
+		// interleave on the latest snapshot, which stays a live view).
+		ctx, fl := s.solves.attach(ctx, e.ID, "sweep")
+		defer fl.done()
 		o := opts
+		o.LPMonitor = fl
+		o.LPMonitorEvery = s.cfg.SolveMonitorEvery
 		seedVals := append(append([]float64{}, baseVals...), req.Sweep.Values[0])
 		o.WarmBasis = s.cache.nearest(family, seedVals)
 		points, err := sweep.Pareto(ctx, e.Model, o, req.Sweep.Metric, rel, req.Sweep.Values, sweep.Config{Workers: req.Sweep.Workers})
@@ -686,12 +710,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := map[string]any{
-		"counters":   s.stats.snapshot(),
-		"endpoints":  s.tele.statsEndpoints(),
-		"solve":      s.tele.statsSolve(),
-		"cache_size": s.cache.len(),
-		"models":     s.reg.size(),
-		"uptime_s":   time.Since(s.start).Seconds(),
+		"counters":      s.stats.snapshot(),
+		"endpoints":     s.tele.statsEndpoints(),
+		"solve":         s.tele.statsSolve(),
+		"gauges":        s.solves.gaugeMap(),
+		"dropped_spans": s.tele.recorder.DroppedSpans(),
+		"cache_size":    s.cache.len(),
+		"models":        s.reg.size(),
+		"uptime_s":      time.Since(s.start).Seconds(),
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -729,6 +755,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Family("dpmserved_endpoint_requests_total", "counter", "HTTP requests by endpoint.")
 		p.Sample("dpmserved_endpoint_requests_total", obs.Label("endpoint", name),
 			float64(s.tele.endpoints[name].requests.Load()))
+	}
+	p.Counter("dpmserved_dropped_spans_total", "Trace spans dropped by the per-trace span cap.",
+		float64(s.tele.recorder.DroppedSpans()))
+	gnames, gvals := s.solves.gauges.Snapshot()
+	for i, name := range gnames {
+		p.Gauge("dpmserved_"+name, "Flight-recorder gauge: solves currently in flight.", float64(gvals[i]))
 	}
 	p.Gauge("dpmserved_cache_size", "Cached query results and bases.", float64(s.cache.len()))
 	p.Gauge("dpmserved_models", "Resident compiled models.", float64(s.reg.size()))

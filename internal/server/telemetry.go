@@ -13,7 +13,7 @@ import (
 // request maps onto exactly one (unknown paths land in "other"), so the
 // histogram map is immutable after construction and needs no locking.
 var endpointNames = []string{
-	"optimize", "sweep", "observe", "models", "healthz", "stats", "metrics", "trace", "other",
+	"optimize", "sweep", "observe", "models", "solves", "healthz", "stats", "metrics", "trace", "other",
 }
 
 // stageNames mirrors the lp.Timings breakdown, in emission order.
@@ -66,6 +66,8 @@ func endpointOf(r *http.Request) string {
 			return "observe"
 		}
 		return "models"
+	case p == "/v1/solves" || strings.HasPrefix(p, "/v1/solves/"):
+		return "solves"
 	case p == "/v1/healthz":
 		return "healthz"
 	case p == "/v1/stats":
@@ -84,7 +86,7 @@ func endpointOf(r *http.Request) string {
 // scraper polling /metrics cannot evict the traces worth inspecting.
 func recorded(endpoint string) bool {
 	switch endpoint {
-	case "stats", "metrics", "trace", "healthz":
+	case "stats", "metrics", "trace", "healthz", "solves":
 		return false
 	}
 	return true

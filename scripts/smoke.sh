@@ -72,6 +72,39 @@ TRACES=$(curl -sSf "$URL/v1/trace?n=10")
 has "$TRACES" '"name": "solve"' || fail "no solve span in /v1/trace" "$TRACES"
 has "$TRACES" '"name": "build"' || fail "no build span in /v1/trace" "$TRACES"
 
+# Flight recorder: a long serial sweep on the heterogeneous preset keeps one
+# solve in flight for a while; GET /v1/solves polled from outside must catch
+# the live row with nonzero pivots, and the table must be empty again once
+# the sweep completes. This is the mid-flight introspection the unit tests
+# can't see: the live table observed over the wire against a running daemon.
+VALS=$(seq 0.50 0.005 1.50 | paste -sd, -)
+SWEEPREQ='{"model":"heterogeneous","objective":"power","sweep":{"metric":"penalty","rel":"<=","values":['"$VALS"'],"workers":1}}'
+SWEEP_OUT="$(mktemp)"
+curl -sSf -X POST -d "$SWEEPREQ" "$URL/v1/sweep" >"$SWEEP_OUT" &
+SWEEP_PID=$!
+# The payload sorts "events" before "solves", so everything from the
+# "solves" key onward is the live table — sliced off so journal events
+# (whose attrs also carry pivot counts from earlier phases) can't satisfy
+# the mid-flight check.
+rows() { echo "$1" | sed -n '/"solves":/,$p'; }
+LIVE=""
+for _ in $(seq 1 200); do
+  SOLVES=$(rows "$(curl -sSf "$URL/v1/solves")")
+  if echo "$SOLVES" | grep -e '"pivots": [1-9]' >/dev/null; then LIVE="$SOLVES"; break; fi
+  kill -0 "$SWEEP_PID" 2>/dev/null || break
+  sleep 0.02
+done
+[ -n "$LIVE" ] || { echo "smoke: sweep never appeared in /v1/solves with pivots"; curl -s "$URL/v1/solves"; exit 1; }
+has "$LIVE" '"endpoint": "sweep"' || fail "live row is not the sweep" "$LIVE"
+wait "$SWEEP_PID" || { echo "smoke: background sweep failed"; cat "$SWEEP_OUT"; exit 1; }
+rm -f "$SWEEP_OUT"
+AFTER=$(curl -sSf "$URL/v1/solves")
+has "$(rows "$AFTER")" '"endpoint"' && fail "solve table not empty after sweep" "$AFTER"
+has "$AFTER" '"kind": "solve_start"' || fail "journal lost the sweep lifecycle" "$AFTER"
+has "$AFTER" '"kind": "solve_finish"' || fail "journal has no solve_finish" "$AFTER"
+GAUGES=$(curl -sSf "$URL/metrics")
+has "$GAUGES" '^dpmserved_solves_inflight 0$' || { echo "smoke: solves_inflight gauge not back to 0"; echo "$GAUGES" | grep solves; exit 1; }
+
 # Online adaptation: stream a short two-regime trace at the race-instrumented
 # daemon. dpmfeed itself exits non-zero unless at least one drift-triggered
 # refresh happened (-expect-drift default); the counters then assert the
@@ -88,7 +121,7 @@ has "$METRICS" '^dpmserved_online_warm_total [1-9]' \
 has "$METRICS" '^dpmserved_online_patched_total [1-9]' \
   || { echo "smoke: no patched online refresh recorded"; echo "$METRICS" | grep online; exit 1; }
 
-PHASES="cold solve, cache hit, composite preset, trace retrieval, online drift refresh"
+PHASES="cold solve, cache hit, composite preset, trace retrieval, live /v1/solves mid-flight, online drift refresh"
 if [ -n "$LOAD" ]; then
   # Load phase: closed-loop mixed traffic at two concurrency levels against
   # the same (race-instrumented, under CI) daemon. -require-p99 makes
